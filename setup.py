@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) fail. Keeping a ``setup.py``
+lets ``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+Project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro — a reproduction of NeuroSketch (SIGMOD 2023).
+
+NeuroSketch answers range aggregate queries (RAQs) by training small neural
+networks that map a query instance directly to its answer ("query modelling"),
+rather than modelling the data itself.
+
+The package is organized as:
+
+- :mod:`repro.core` — the NeuroSketch framework (the paper's contribution).
+- :mod:`repro.nn` — a from-scratch NumPy neural-network substrate, including
+  the constructive network of Theorem 3.4.
+- :mod:`repro.queries` — query instances, predicates, aggregates, the exact
+  executor and workload generators.
+- :mod:`repro.data` — dataset containers and the (simulated) datasets of the
+  paper's evaluation: PM2.5, TPC-DS store_sales, Veraset visits, GMMs.
+- :mod:`repro.baselines` — TREE-AGG (R-tree over a uniform sample),
+  VerdictDB-lite, DBEst-lite (mixture density networks), DeepDB-lite
+  (sum-product networks) and histogram synopses.
+- :mod:`repro.theory` — the DQD bound: LDQ Lipschitz constants, the
+  VC-sampling bound (Theorem 3.5) and the approximation bound (Theorem 3.4).
+- :mod:`repro.bench` — the experiment harness regenerating every table and
+  figure of the paper's evaluation section.
+
+Quickstart::
+
+    import numpy as np
+    from repro.data import load_dataset
+    from repro.queries import AxisRangePredicate, QueryFunction, WorkloadGenerator
+    from repro.core import NeuroSketch
+
+    ds = load_dataset("VS", n=20_000, seed=0)
+    qf = QueryFunction.axis_range(ds, aggregate="AVG", active_attrs=("lat", "lon"))
+    wl = WorkloadGenerator(qf, seed=1)
+    queries = wl.sample(5_000)
+    sketch = NeuroSketch(tree_height=2, n_partitions=2, seed=2).fit(qf, queries)
+    answers = sketch.predict(queries[:10])
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

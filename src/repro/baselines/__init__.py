@@ -1,0 +1,40 @@
+"""Baseline AQP engines the paper compares against (Section 5.1).
+
+- :class:`~repro.baselines.exact.ExactScan` — ground-truth full scan.
+- :class:`~repro.baselines.tree_agg.TreeAgg` — the paper's own sampling
+  baseline: uniform sample + R-tree index (the R-tree itself is built from
+  scratch in :mod:`repro.baselines.rtree`).
+- :class:`~repro.baselines.verdictdb.VerdictLite` — VerdictDB-style
+  scramble-sample engine (uniform sample, no index).
+- :class:`~repro.baselines.dbest.DBEstLite` — DBEst-style per-attribute
+  (density, MDN regression) models.
+- :class:`~repro.baselines.deepdb.DeepDBLite` — DeepDB-style sum-product
+  network with RDC-based structure learning.
+- :class:`~repro.baselines.histogram.HistogramSynopsis` — classic
+  equi-width histogram synopsis (extra non-learned reference).
+"""
+
+from repro.baselines.base import AQPMethod
+from repro.baselines.exact import ExactScan
+from repro.baselines.rtree import RTree
+from repro.baselines.tree_agg import TreeAgg
+from repro.baselines.verdictdb import VerdictLite
+from repro.baselines.mdn import MixtureDensityNetwork
+from repro.baselines.dbest import DBEstLite
+from repro.baselines.spn import SPN, rdc
+from repro.baselines.deepdb import DeepDBLite
+from repro.baselines.histogram import HistogramSynopsis
+
+__all__ = [
+    "AQPMethod",
+    "ExactScan",
+    "RTree",
+    "TreeAgg",
+    "VerdictLite",
+    "MixtureDensityNetwork",
+    "DBEstLite",
+    "SPN",
+    "rdc",
+    "DeepDBLite",
+    "HistogramSynopsis",
+]

@@ -1,0 +1,41 @@
+"""Common interface for AQP methods (NeuroSketch and all baselines)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queries.query_function import QueryFunction
+
+
+class AQPMethod:
+    """An approximate query processor bound to one query function.
+
+    Subclasses implement :meth:`fit` (preprocessing over the data and/or
+    workload) and :meth:`answer`. The bench harness only relies on this
+    protocol.
+    """
+
+    name: str = "abstract"
+
+    def fit(self, query_function: QueryFunction, **kwargs) -> "AQPMethod":
+        raise NotImplementedError
+
+    def answer(self, Q: np.ndarray) -> np.ndarray:
+        """Approximate answers for a query batch ``(m, d)``."""
+        raise NotImplementedError
+
+    def answer_one(self, q: np.ndarray) -> float:
+        """Single-query path (used for query-time measurement)."""
+        return float(self.answer(np.atleast_2d(q))[0])
+
+    def num_bytes(self) -> int:
+        """Storage footprint of the method's state."""
+        raise NotImplementedError
+
+    def supports(self, query_function: QueryFunction) -> bool:
+        """Whether this engine can answer the given query function at all.
+
+        Mirrors the paper's support matrix (e.g. DBEst cannot answer
+        multi-active-attribute queries; DeepDB/VerdictDB lack STD/MEDIAN).
+        """
+        return True

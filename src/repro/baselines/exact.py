@@ -1,0 +1,31 @@
+"""Exact full-scan engine (ground truth / slowest baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AQPMethod
+from repro.queries.query_function import QueryFunction
+
+
+class ExactScan(AQPMethod):
+    """Answers every query exactly by scanning the full dataset."""
+
+    name = "EXACT"
+
+    def __init__(self) -> None:
+        self._qf: QueryFunction | None = None
+
+    def fit(self, query_function: QueryFunction, **kwargs) -> "ExactScan":
+        self._qf = query_function
+        return self
+
+    def answer(self, Q: np.ndarray) -> np.ndarray:
+        if self._qf is None:
+            raise RuntimeError("ExactScan is not fitted")
+        return self._qf(Q)
+
+    def num_bytes(self) -> int:
+        if self._qf is None:
+            raise RuntimeError("ExactScan is not fitted")
+        return self._qf.dataset.size_bytes()

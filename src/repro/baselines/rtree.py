@@ -1,0 +1,145 @@
+"""From-scratch R-tree with STR bulk loading.
+
+TREE-AGG (the paper's bespoke sampling baseline) "builds an R-tree index on
+the samples, which is well-suited for range predicates". This module
+implements that substrate: an R-tree over points, bulk-loaded with the
+Sort-Tile-Recursive (STR) packing algorithm, answering axis-aligned box
+queries by MBR pruning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class _Node:
+    """R-tree node: bounding box plus children (internal) or point ids (leaf)."""
+
+    __slots__ = ("lo", "hi", "children", "point_ids")
+
+    def __init__(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        children: list["_Node"] | None = None,
+        point_ids: np.ndarray | None = None,
+    ) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.children = children
+        self.point_ids = point_ids
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.point_ids is not None
+
+
+class RTree:
+    """STR-packed R-tree over a point set.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` point coordinates (normalized data).
+    leaf_capacity:
+        Maximum points per leaf (fan-out uses the same value).
+    """
+
+    def __init__(self, points: np.ndarray, leaf_capacity: int = 64) -> None:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[0] == 0:
+            raise ValueError("cannot index an empty point set")
+        if leaf_capacity < 2:
+            raise ValueError("leaf_capacity must be >= 2")
+        self.points = points
+        self.leaf_capacity = int(leaf_capacity)
+        self.n, self.dim = points.shape
+        self.root = self._bulk_load(np.arange(self.n))
+        self._n_nodes = self._count_nodes(self.root)
+
+    # ------------------------------------------------------------ bulk load
+
+    def _bulk_load(self, ids: np.ndarray) -> _Node:
+        leaves = self._str_pack_leaves(ids)
+        level: list[_Node] = leaves
+        while len(level) > 1:
+            level = self._pack_level(level)
+        return level[0]
+
+    def _str_pack_leaves(self, ids: np.ndarray) -> list[_Node]:
+        """Sort-Tile-Recursive packing of points into leaves."""
+        groups = self._str_partition(ids, axis=0, capacity=self.leaf_capacity)
+        leaves = []
+        for group in groups:
+            pts = self.points[group]
+            leaves.append(_Node(pts.min(axis=0), pts.max(axis=0), point_ids=group))
+        return leaves
+
+    def _str_partition(self, ids: np.ndarray, axis: int, capacity: int) -> list[np.ndarray]:
+        """Recursively tile ``ids`` into groups of <= capacity points."""
+        if len(ids) <= capacity:
+            return [ids]
+        order = ids[np.argsort(self.points[ids, axis], kind="stable")]
+        n_groups = int(np.ceil(len(ids) / capacity))
+        # Number of slabs along this axis: the STR rule ceil(n_groups^(1/d'))
+        # with d' remaining dimensions.
+        remaining = self.dim - axis
+        if remaining <= 1:
+            return list(np.array_split(order, n_groups))
+        n_slabs = int(np.ceil(n_groups ** (1.0 / remaining)))
+        slab_size = int(np.ceil(len(ids) / n_slabs))
+        out: list[np.ndarray] = []
+        for start in range(0, len(ids), slab_size):
+            slab = order[start : start + slab_size]
+            out.extend(self._str_partition(slab, axis + 1, capacity))
+        return out
+
+    def _pack_level(self, nodes: list[_Node]) -> list[_Node]:
+        """Group a level's nodes into parents by center-sorted tiling."""
+        centers = np.array([(node.lo + node.hi) / 2.0 for node in nodes])
+        order = np.lexsort(centers.T[::-1])  # sort by first dim, then next...
+        out: list[_Node] = []
+        for start in range(0, len(nodes), self.leaf_capacity):
+            group = [nodes[i] for i in order[start : start + self.leaf_capacity]]
+            lo = np.min([g.lo for g in group], axis=0)
+            hi = np.max([g.hi for g in group], axis=0)
+            out.append(_Node(lo, hi, children=group))
+        return out
+
+    @staticmethod
+    def _count_nodes(root: _Node) -> int:
+        count, stack = 0, [root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return count
+
+    # ---------------------------------------------------------------- query
+
+    def query_box(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Ids of points with ``lo <= p < hi`` (half-open, matching RAQs)."""
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        hits: list[np.ndarray] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            # Prune: skip nodes whose MBR misses the query box.
+            if np.any(node.hi < lo) or np.any(node.lo >= hi):
+                continue
+            if node.is_leaf:
+                pts = self.points[node.point_ids]
+                mask = np.all((pts >= lo) & (pts < hi), axis=1)
+                if mask.any():
+                    hits.append(node.point_ids[mask])
+            else:
+                stack.extend(node.children)
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(hits)
+
+    def num_bytes(self) -> int:
+        """Points + per-node MBRs (two float64 corners each)."""
+        return int(self.points.nbytes + self._n_nodes * self.dim * 2 * 8)

@@ -1,0 +1,95 @@
+"""AQC — the Average Query-function Change complexity proxy (Section 3.1.4).
+
+LDQ (the Lipschitz constant of the normalized distribution query function)
+drives the DQD bound but is hard to measure: it is a supremum over all query
+pairs of an unknown distributional quantity. The paper's practical proxy is
+
+    AQC = (1 / C(|Q|, 2)) * Σ_{q, q' in Q} |f(q) − f(q')| / ||q − q'||
+
+over a sampled query set Q. This module computes AQC (with optional pair
+subsampling for large Q), per-kd-tree-leaf AQCs (line 3 of Alg. 3) and the
+normalized AQC standard deviation used in Table 3's analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def average_query_change(
+    Q: np.ndarray,
+    f_values: np.ndarray,
+    max_pairs: int | None = 200_000,
+    ord: float = 1,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """AQC of a query set given precomputed answers ``f_values``.
+
+    Parameters
+    ----------
+    Q:
+        ``(m, d)`` query vectors.
+    f_values:
+        ``(m,)`` exact answers ``f_D(q)``.
+    max_pairs:
+        If the number of distinct pairs exceeds this, subsample this many
+        pairs uniformly (None = always all pairs). The paper computes all
+        pairs; subsampling keeps large workloads tractable and is unbiased.
+    ord:
+        Norm for ``||q − q'||``; the paper's Lipschitz property is in 1-norm.
+    """
+    Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+    f_values = np.asarray(f_values, dtype=np.float64).ravel()
+    m = Q.shape[0]
+    if f_values.shape[0] != m:
+        raise ValueError("Q and f_values must have matching length")
+    if m < 2:
+        return 0.0
+
+    n_pairs = m * (m - 1) // 2
+    if max_pairs is not None and n_pairs > max_pairs:
+        rng = rng or np.random.default_rng(0)
+        i = rng.integers(0, m, size=max_pairs)
+        j = rng.integers(0, m, size=max_pairs)
+        keep = i != j
+        i, j = i[keep], j[keep]
+    else:
+        i, j = np.triu_indices(m, k=1)
+
+    dist = np.linalg.norm(Q[i] - Q[j], ord=ord, axis=1)
+    valid = dist > 1e-12
+    if not valid.any():
+        return 0.0
+    ratios = np.abs(f_values[i[valid]] - f_values[j[valid]]) / dist[valid]
+    return float(ratios.mean())
+
+
+def leaf_aqcs(
+    tree,
+    y: np.ndarray,
+    max_pairs: int | None = 50_000,
+    rng: np.random.Generator | None = None,
+) -> dict[int, float]:
+    """AQC per kd-tree leaf (Alg. 3 line 3), keyed by ``leaf_id``.
+
+    ``y`` holds exact answers aligned with the tree's build query set.
+    """
+    y = np.asarray(y, dtype=np.float64).ravel()
+    out: dict[int, float] = {}
+    for leaf in tree.leaves():
+        idx = leaf.indices
+        out[leaf.leaf_id] = average_query_change(
+            tree.Q[idx], y[idx], max_pairs=max_pairs, rng=rng
+        )
+    return out
+
+
+def normalized_aqc_std(aqcs: dict[int, float] | list[float]) -> float:
+    """``STD(R)/AVG(R)`` over leaf AQCs — Table 3's partitioning-benefit signal."""
+    values = np.asarray(list(aqcs.values()) if isinstance(aqcs, dict) else aqcs, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    mean = values.mean()
+    if mean <= 1e-12:
+        return 0.0
+    return float(values.std() / mean)

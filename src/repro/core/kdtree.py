@@ -1,0 +1,200 @@
+"""Query-space kd-tree (Algorithm 2 of the paper).
+
+The tree is built on a *training query set*: each node splits its queries at
+the median along one dimension (cycling through dimensions), so the 2^h
+leaves are equally probable under the workload distribution — the paper's
+mechanism for spending model capacity where queries are frequent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KDNode:
+    """A node of the query-space kd-tree.
+
+    Internal nodes carry the split ``(dim, val)``; every node keeps the
+    indices (into the build query set) of the queries that reach it, which
+    the merge step's AQC computation needs.
+    """
+
+    __slots__ = ("dim", "val", "left", "right", "indices", "leaf_id", "marked")
+
+    def __init__(self, indices: np.ndarray) -> None:
+        self.dim: int | None = None
+        self.val: float | None = None
+        self.left: KDNode | None = None
+        self.right: KDNode | None = None
+        self.indices = indices
+        self.leaf_id: int | None = None
+        self.marked = False  # used by Alg. 3 merging
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    def make_leaf(self) -> None:
+        """Collapse this subtree into a leaf (used when merging siblings)."""
+        self.dim = None
+        self.val = None
+        self.left = None
+        self.right = None
+        self.marked = False
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return f"KDNode(leaf id={self.leaf_id}, |Q|={len(self.indices)})"
+        return f"KDNode(dim={self.dim}, val={self.val:.4f})"
+
+
+class QueryKDTree:
+    """kd-tree over a training query set ``Q`` (Alg. 2).
+
+    Parameters
+    ----------
+    Q:
+        ``(m, d)`` training query vectors.
+    height:
+        Maximum tree height ``h``; the build creates up to ``2^h`` leaves.
+        A node stops splitting early if a median split would leave a child
+        empty (degenerate duplicate values).
+    """
+
+    def __init__(self, Q: np.ndarray, height: int) -> None:
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        if height < 0:
+            raise ValueError("height must be >= 0")
+        if Q.shape[0] == 0:
+            raise ValueError("cannot build a kd-tree on an empty query set")
+        self.Q = Q
+        self.height = int(height)
+        self.dim = Q.shape[1]
+        self.root = KDNode(np.arange(Q.shape[0]))
+        self._partition_and_index(self.root, self.height, 0)
+        self.relabel_leaves()
+
+    # ---------------------------------------------------------------- build
+
+    def _partition_and_index(self, node: KDNode, h: int, dim: int) -> None:
+        """Algorithm 2: split at the median of ``dim``, recurse with h-1."""
+        if h == 0 or len(node.indices) < 2:
+            return
+        values = self.Q[node.indices, dim]
+        median = float(np.median(values))
+        left_mask = values <= median
+        if left_mask.all() or not left_mask.any():
+            # Degenerate split (duplicates); stop early rather than create
+            # an empty child.
+            return
+        node.dim = dim
+        node.val = median
+        node.left = KDNode(node.indices[left_mask])
+        node.right = KDNode(node.indices[~left_mask])
+        next_dim = (dim + 1) % self.dim
+        self._partition_and_index(node.left, h - 1, next_dim)
+        self._partition_and_index(node.right, h - 1, next_dim)
+
+    # ---------------------------------------------------------------- access
+
+    def leaves(self) -> list[KDNode]:
+        """Leaves in left-to-right order."""
+        out: list[KDNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                stack.append(node.right)
+                stack.append(node.left)
+        return out[::-1]
+
+    def relabel_leaves(self) -> None:
+        """Assign contiguous ``leaf_id``s (after build or merging)."""
+        for i, leaf in enumerate(self.leaves()):
+            leaf.leaf_id = i
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves())
+
+    def sibling_pairs(self) -> list[tuple[KDNode, KDNode, KDNode]]:
+        """All ``(parent, left, right)`` triples whose children are both leaves."""
+        out: list[tuple[KDNode, KDNode, KDNode]] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            if node.left.is_leaf and node.right.is_leaf:
+                out.append((node, node.left, node.right))
+            stack.extend((node.left, node.right))
+        return out
+
+    # --------------------------------------------------------------- routing
+
+    def route(self, q: np.ndarray) -> KDNode:
+        """Algorithm 5's traversal: the leaf a single query falls into."""
+        q = np.asarray(q, dtype=np.float64).ravel()
+        node = self.root
+        while not node.is_leaf:
+            node = node.left if q[node.dim] <= node.val else node.right
+        return node
+
+    def route_batch(self, Q: np.ndarray) -> np.ndarray:
+        """Leaf ids for a batch of queries, shape ``(m,)``."""
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        out = np.empty(Q.shape[0], dtype=np.int64)
+        self._route_recursive(self.root, Q, np.arange(Q.shape[0]), out)
+        return out
+
+    def _route_recursive(
+        self, node: KDNode, Q: np.ndarray, idx: np.ndarray, out: np.ndarray
+    ) -> None:
+        if node.is_leaf:
+            out[idx] = node.leaf_id
+            return
+        mask = Q[idx, node.dim] <= node.val
+        if mask.any():
+            self._route_recursive(node.left, Q, idx[mask], out)
+        if not mask.all():
+            self._route_recursive(node.right, Q, idx[~mask], out)
+
+    # ------------------------------------------------------------ persistence
+
+    def to_dict(self) -> dict:
+        """Structure only (query indices are a training-time artifact)."""
+
+        def encode(node: KDNode) -> dict:
+            if node.is_leaf:
+                return {"leaf_id": node.leaf_id}
+            return {
+                "dim": node.dim,
+                "val": node.val,
+                "left": encode(node.left),
+                "right": encode(node.right),
+            }
+
+        return {"dim": self.dim, "height": self.height, "root": encode(self.root)}
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "QueryKDTree":
+        tree = cls.__new__(cls)
+        tree.Q = np.zeros((1, state["dim"]))
+        tree.height = state["height"]
+        tree.dim = state["dim"]
+
+        def decode(payload: dict) -> KDNode:
+            node = KDNode(np.empty(0, dtype=np.int64))
+            if "leaf_id" in payload:
+                node.leaf_id = payload["leaf_id"]
+                return node
+            node.dim = payload["dim"]
+            node.val = payload["val"]
+            node.left = decode(payload["left"])
+            node.right = decode(payload["right"])
+            return node
+
+        tree.root = decode(state["root"])
+        return tree

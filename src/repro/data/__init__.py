@@ -1,0 +1,47 @@
+"""Dataset substrate.
+
+Provides the :class:`~repro.data.dataset.Dataset` container plus generators
+for every dataset used in the paper's evaluation (Table 1):
+
+- ``G5``, ``G10``, ``G20`` — 100-component Gaussian mixtures in 5/10/20 dims.
+- ``PM`` — simulated Beijing PM2.5 air-quality data (measure: PM2.5).
+- ``TPC1``, ``TPC10`` — simulated TPC-DS ``store_sales`` numeric columns
+  (measure: net_profit).
+- ``VS`` — simulated Veraset location visits after stay-point detection
+  (measure: visit duration).
+
+Real PM2.5 / TPC-DS / Veraset data are not available offline; the simulators
+reproduce the distributional properties the experiments depend on (see
+DESIGN.md, "Environment substitutions").
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.normalization import MinMaxScaler
+from repro.data.registry import DATASET_NAMES, dataset_info, load_dataset
+from repro.data.synthetic import (
+    make_gaussian,
+    make_gmm,
+    make_gmm_dataset,
+    make_uniform,
+)
+from repro.data.pm25 import make_pm25
+from repro.data.tpcds import make_store_sales
+from repro.data.veraset import make_veraset, make_veraset_from_signals
+from repro.data.staypoints import detect_staypoints
+
+__all__ = [
+    "Dataset",
+    "MinMaxScaler",
+    "DATASET_NAMES",
+    "dataset_info",
+    "load_dataset",
+    "make_uniform",
+    "make_gaussian",
+    "make_gmm",
+    "make_gmm_dataset",
+    "make_pm25",
+    "make_store_sales",
+    "make_veraset",
+    "make_veraset_from_signals",
+    "detect_staypoints",
+]

@@ -1,0 +1,145 @@
+"""The :class:`Dataset` container.
+
+A dataset is an ``(n, d)`` table of numeric attributes with named columns and
+a designated *measure attribute* (the column aggregated by RAQs, Section 2 of
+the paper). Raw values are kept alongside a normalized-to-``[0, 1]`` view; all
+predicates operate on the normalized view while aggregates read raw measure
+values, matching the paper's normalization convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.normalization import MinMaxScaler
+
+
+class Dataset:
+    """An in-memory numeric table with a designated measure attribute.
+
+    Parameters
+    ----------
+    raw:
+        ``(n, d)`` array of raw attribute values.
+    columns:
+        Names for the ``d`` columns.
+    measure:
+        Name of the measure attribute (must be one of ``columns``).
+    name:
+        Human-readable dataset name (e.g. ``"PM"``).
+    """
+
+    def __init__(
+        self,
+        raw: np.ndarray,
+        columns: Sequence[str],
+        measure: str,
+        name: str = "dataset",
+    ) -> None:
+        raw = np.asarray(raw, dtype=np.float64)
+        if raw.ndim != 2:
+            raise ValueError(f"expected a 2-d array, got shape {raw.shape}")
+        if len(columns) != raw.shape[1]:
+            raise ValueError(
+                f"{len(columns)} column names for {raw.shape[1]} columns"
+            )
+        if len(set(columns)) != len(columns):
+            raise ValueError("column names must be unique")
+        if measure not in columns:
+            raise ValueError(f"measure {measure!r} not among columns {columns}")
+        if raw.shape[0] == 0:
+            raise ValueError("dataset must contain at least one row")
+
+        self.name = name
+        self.raw = raw
+        self.columns = tuple(columns)
+        self.measure = measure
+        self.scaler = MinMaxScaler().fit(raw)
+        # Normalized view used by all range predicates (attributes in [0, 1]).
+        self.X = self.scaler.transform(raw)
+
+    # ------------------------------------------------------------------ shape
+
+    @property
+    def n(self) -> int:
+        """Number of rows."""
+        return self.raw.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Number of attributes."""
+        return self.raw.shape[1]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, n={self.n}, dim={self.dim}, "
+            f"measure={self.measure!r})"
+        )
+
+    # ---------------------------------------------------------------- columns
+
+    def column_index(self, column: str) -> int:
+        """Position of a named column."""
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise KeyError(f"unknown column {column!r}; have {self.columns}") from None
+
+    @property
+    def measure_index(self) -> int:
+        return self.column_index(self.measure)
+
+    @property
+    def measure_values(self) -> np.ndarray:
+        """Raw values of the measure attribute."""
+        return self.raw[:, self.measure_index]
+
+    def column(self, column: str, normalized: bool = False) -> np.ndarray:
+        """Raw (default) or normalized values of one column."""
+        idx = self.column_index(column)
+        return self.X[:, idx] if normalized else self.raw[:, idx]
+
+    # ------------------------------------------------------------ derivations
+
+    def subset_columns(self, columns: Iterable[str], measure: str | None = None) -> "Dataset":
+        """Project onto a subset of columns, producing a new dataset."""
+        columns = tuple(columns)
+        idx = [self.column_index(c) for c in columns]
+        measure = measure if measure is not None else self.measure
+        if measure not in columns:
+            raise ValueError(f"measure {measure!r} must be among projected columns")
+        return Dataset(self.raw[:, idx], columns, measure, name=f"{self.name}[{','.join(columns)}]")
+
+    def sample_rows(self, k: int, rng: np.random.Generator) -> "Dataset":
+        """Uniform sample (without replacement) of ``k`` rows."""
+        if k > self.n:
+            raise ValueError(f"cannot sample {k} rows from {self.n}")
+        idx = rng.choice(self.n, size=k, replace=False)
+        return Dataset(self.raw[idx], self.columns, self.measure, name=f"{self.name}#s{k}")
+
+    def head(self, k: int) -> "Dataset":
+        """The first ``k`` rows."""
+        return Dataset(self.raw[: max(1, k)], self.columns, self.measure, name=self.name)
+
+    # ------------------------------------------------------------------ stats
+
+    def size_bytes(self) -> int:
+        """Bytes needed to store the raw table (float64)."""
+        return int(self.raw.nbytes)
+
+    def describe(self) -> dict:
+        """Summary dictionary used by Table-1-style reports."""
+        return {
+            "name": self.name,
+            "n": self.n,
+            "dim": self.dim,
+            "measure": self.measure,
+            "measure_mean": float(self.measure_values.mean()),
+            "measure_std": float(self.measure_values.std()),
+            "size_mb": self.size_bytes() / 2**20,
+        }

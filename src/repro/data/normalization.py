@@ -1,0 +1,79 @@
+"""Column-wise min-max normalization to the unit hypercube.
+
+The paper's problem setting (Section 2) assumes every attribute lies in
+``[0, 1]``; real attributes are normalized on ingestion. The scaler is
+invertible so answers and visualizations can be mapped back to raw units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MinMaxScaler:
+    """Invertible per-column linear map onto ``[0, 1]``.
+
+    Degenerate (constant) columns are mapped to 0 and inverted back to their
+    constant value.
+    """
+
+    def __init__(self) -> None:
+        self.lo_: np.ndarray | None = None
+        self.hi_: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.lo_ is not None
+
+    def fit(self, values: np.ndarray) -> "MinMaxScaler":
+        """Record per-column minima and maxima of a ``(n, d)`` array."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError(f"expected a 2-d array, got shape {values.shape}")
+        self.lo_ = values.min(axis=0)
+        self.hi_ = values.max(axis=0)
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+
+    @property
+    def span_(self) -> np.ndarray:
+        """Per-column width, with degenerate columns widened to 1."""
+        self._check_fitted()
+        span = self.hi_ - self.lo_
+        return np.where(span > 0, span, 1.0)
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Map raw values into ``[0, 1]`` per column."""
+        self._check_fitted()
+        values = np.asarray(values, dtype=np.float64)
+        return (values - self.lo_) / self.span_
+
+    def inverse_transform(self, unit_values: np.ndarray) -> np.ndarray:
+        """Map ``[0, 1]`` values back to raw units."""
+        self._check_fitted()
+        unit_values = np.asarray(unit_values, dtype=np.float64)
+        return unit_values * self.span_ + self.lo_
+
+    def transform_column(self, values: np.ndarray, col: int) -> np.ndarray:
+        """Normalize a 1-d array using a single column's statistics."""
+        self._check_fitted()
+        return (np.asarray(values, dtype=np.float64) - self.lo_[col]) / self.span_[col]
+
+    def inverse_transform_column(self, unit_values: np.ndarray, col: int) -> np.ndarray:
+        """Denormalize a 1-d array using a single column's statistics."""
+        self._check_fitted()
+        return np.asarray(unit_values, dtype=np.float64) * self.span_[col] + self.lo_[col]
+
+    def to_dict(self) -> dict:
+        self._check_fitted()
+        return {"lo": self.lo_.tolist(), "hi": self.hi_.tolist()}
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "MinMaxScaler":
+        scaler = cls()
+        scaler.lo_ = np.asarray(state["lo"], dtype=np.float64)
+        scaler.hi_ = np.asarray(state["hi"], dtype=np.float64)
+        return scaler

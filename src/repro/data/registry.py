@@ -1,0 +1,72 @@
+"""Named dataset registry matching the paper's Table 1.
+
+``load_dataset(name, n=...)`` builds any of the seven evaluation datasets.
+Default sizes are scaled to laptop budget (the paper's full sizes are kept in
+:data:`PAPER_SIZES` for reference and for Table-1 reports); every experiment
+parameterizes ``n`` explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.dataset import Dataset
+from repro.data.pm25 import make_pm25
+from repro.data.synthetic import make_gmm_dataset
+from repro.data.tpcds import make_store_sales
+from repro.data.veraset import make_veraset
+
+#: Row counts and dimensionalities reported in the paper's Table 1.
+PAPER_SIZES: dict[str, tuple[int, int]] = {
+    "G5": (100_000, 5),
+    "G10": (100_000, 10),
+    "G20": (100_000, 20),
+    "PM": (41_757, 4),
+    "TPC1": (2_650_000, 13),
+    "TPC10": (26_500_000, 13),
+    "VS": (100_000, 3),
+}
+
+#: Laptop-scale default sizes used when ``n`` is not given.
+DEFAULT_SIZES: dict[str, int] = {
+    "G5": 50_000,
+    "G10": 50_000,
+    "G20": 50_000,
+    "PM": 41_757,
+    "TPC1": 100_000,
+    "TPC10": 400_000,
+    "VS": 50_000,
+}
+
+_BUILDERS: dict[str, Callable[[int, int], Dataset]] = {
+    "G5": lambda n, seed: make_gmm_dataset(n, dim=5, n_components=100, seed=seed, name="G5"),
+    "G10": lambda n, seed: make_gmm_dataset(n, dim=10, n_components=100, seed=seed, name="G10"),
+    "G20": lambda n, seed: make_gmm_dataset(n, dim=20, n_components=100, seed=seed, name="G20"),
+    "PM": lambda n, seed: make_pm25(n, seed=seed, name="PM"),
+    "TPC1": lambda n, seed: make_store_sales(n, seed=seed, name="TPC1"),
+    "TPC10": lambda n, seed: make_store_sales(n, seed=seed + 10, name="TPC10"),
+    "VS": lambda n, seed: make_veraset(n, seed=seed, name="VS"),
+}
+
+DATASET_NAMES: tuple[str, ...] = tuple(_BUILDERS)
+
+
+def load_dataset(name: str, n: int | None = None, seed: int = 0) -> Dataset:
+    """Build one of the paper's datasets by name (see :data:`DATASET_NAMES`)."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown dataset {name!r}; have {DATASET_NAMES}")
+    n = n if n is not None else DEFAULT_SIZES[name]
+    return _BUILDERS[name](n, seed)
+
+
+def dataset_info(name: str) -> dict:
+    """Table-1 style info: paper size/dim and laptop default size."""
+    if name not in PAPER_SIZES:
+        raise KeyError(f"unknown dataset {name!r}; have {DATASET_NAMES}")
+    paper_n, dim = PAPER_SIZES[name]
+    return {
+        "name": name,
+        "paper_n": paper_n,
+        "dim": dim,
+        "default_n": DEFAULT_SIZES[name],
+    }

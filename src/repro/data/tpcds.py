@@ -1,0 +1,98 @@
+"""Simulated TPC-DS ``store_sales`` numeric columns.
+
+The paper uses the 13 numeric attributes of the TPC-DS ``store_sales`` fact
+table with ``net_profit`` as the measure (Section 5.1). The official dsdgen
+generator is unavailable offline; this module reproduces the table's pricing
+arithmetic, which is what gives ``net_profit`` its near-symmetric,
+zero-centred distribution (Fig. 5, "TPC" panel):
+
+    wholesale_cost ~ U[1, 100]
+    list_price     = wholesale_cost * (1 + markup),    markup ~ U[0.3, 2.0]
+    sales_price    = list_price * (1 - discount),      discount ~ U[0, 0.9]
+    ext_*          = quantity * per-unit amounts
+    net_paid       = ext_sales_price - ext_discount_amt (coupon)
+    net_profit     = net_paid - ext_wholesale_cost
+
+Scale factors follow TPC-DS row-count proportions: ``scale_factor=1``
+corresponds to ~2.65M rows in the real benchmark; the generator exposes ``n``
+directly so experiments can run at laptop scale while keeping the TPC1:TPC10
+ratio (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+STORE_SALES_COLUMNS = (
+    "quantity",
+    "wholesale_cost",
+    "list_price",
+    "sales_price",
+    "ext_discount_amt",
+    "ext_sales_price",
+    "ext_wholesale_cost",
+    "ext_list_price",
+    "ext_tax",
+    "coupon_amt",
+    "net_paid",
+    "net_paid_inc_tax",
+    "net_profit",
+)
+
+#: Real TPC-DS store_sales row counts per scale factor (for reference only).
+ROWS_PER_SCALE_FACTOR = 2_650_000
+
+
+def make_store_sales(
+    n: int = 100_000,
+    seed: int = 0,
+    name: str = "TPC1",
+) -> Dataset:
+    """Simulate ``n`` rows of ``store_sales`` numeric columns.
+
+    The measure attribute is ``net_profit``.
+    """
+    rng = np.random.default_rng(seed)
+
+    quantity = rng.integers(1, 101, size=n).astype(np.float64)
+    wholesale_cost = rng.uniform(1.0, 100.0, size=n)
+    markup = rng.uniform(0.30, 2.00, size=n)
+    list_price = wholesale_cost * (1.0 + markup)
+    discount = rng.uniform(0.0, 0.90, size=n)
+    sales_price = list_price * (1.0 - discount)
+
+    ext_wholesale_cost = quantity * wholesale_cost
+    ext_list_price = quantity * list_price
+    ext_sales_price = quantity * sales_price
+
+    # Coupon applies to a minority of sales, covering part of the amount paid.
+    has_coupon = rng.random(n) < 0.25
+    coupon_amt = np.where(has_coupon, ext_sales_price * rng.uniform(0.0, 0.5, size=n), 0.0)
+    ext_discount_amt = coupon_amt
+
+    net_paid = ext_sales_price - coupon_amt
+    tax_rate = rng.uniform(0.0, 0.09, size=n)
+    ext_tax = net_paid * tax_rate
+    net_paid_inc_tax = net_paid + ext_tax
+    net_profit = net_paid - ext_wholesale_cost
+
+    raw = np.column_stack(
+        [
+            quantity,
+            wholesale_cost,
+            list_price,
+            sales_price,
+            ext_discount_amt,
+            ext_sales_price,
+            ext_wholesale_cost,
+            ext_list_price,
+            ext_tax,
+            coupon_amt,
+            net_paid,
+            net_paid_inc_tax,
+            net_profit,
+        ]
+    )
+    return Dataset(raw, STORE_SALES_COLUMNS, measure="net_profit", name=name)

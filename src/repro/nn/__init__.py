@@ -1,0 +1,40 @@
+"""From-scratch NumPy neural-network substrate.
+
+The paper trains small fully-connected ReLU networks (TensorFlow on GPU) and
+evaluates them with a C++ forward pass. Neither TensorFlow nor PyTorch is
+available offline, so this package implements the required pieces directly
+in NumPy:
+
+- :mod:`~repro.nn.layers` / :mod:`~repro.nn.network` — dense ReLU MLPs with
+  backprop.
+- :mod:`~repro.nn.optimizers` — SGD (momentum) and Adam [20].
+- :mod:`~repro.nn.training` — the mini-batch MSE training loop of Alg. 4,
+  with input/target standardization and plateau-based early stopping.
+- :mod:`~repro.nn.construction` — the constructive network of Theorem 3.4
+  (Alg. 1, "g-units"), both as a closed-form builder and as a trainable
+  model for the CS+SGD variant of Appendix A.5.
+"""
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import MLP, mlp_architecture
+from repro.nn.losses import MSELoss
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.scalers import StandardScaler
+from repro.nn.training import TrainConfig, Trainer, TrainedRegressor
+from repro.nn.construction import ConstructedNetwork, construction_grid_size
+
+__all__ = [
+    "Dense",
+    "ReLU",
+    "MLP",
+    "mlp_architecture",
+    "MSELoss",
+    "SGD",
+    "Adam",
+    "StandardScaler",
+    "TrainConfig",
+    "Trainer",
+    "TrainedRegressor",
+    "ConstructedNetwork",
+    "construction_grid_size",
+]

@@ -1,0 +1,222 @@
+"""The constructive network of Theorem 3.4 (Alg. 1, "g-units").
+
+The paper proves its approximation bound with an explicit two-hidden-layer
+ReLU network::
+
+    f̂(x) = b + Σ_i a_i · σ( 1/t − M · Σ_r σ( π^i_r/t − x_r ) )
+
+where ``P = { π/t : π ∈ {0..t}^d }`` are the vertices of a uniform grid,
+``σ`` is ReLU and ``b = f(0)``. Algorithm 1 sets each ``a_i`` so the network
+*memorizes* ``f`` exactly at every grid vertex (Lemma A.1), and the Lipschitz
+property bounds the error inside each cell.
+
+Instead of Alg. 1's O(k²·d) sequential loop we use its closed form: by
+Prop. A.5(a), ``f̂(π^i/t) = b + Σ_{j : π^j ≤ π^i} a_j / t``, i.e. the grid of
+``t(f − b)`` values is the d-dimensional *prefix sum* of the ``a`` grid — so
+``a`` is the d-dimensional backward finite difference of ``t(f − b)``, which
+numpy computes in O(k·d). Tests verify this equals Alg. 1's sequential
+output.
+
+The class is also *trainable* (gradients w.r.t. ``a``, the grid offsets
+``B`` and ``b``), enabling the CS+SGD variant of Appendix A.5 where the
+construction initializes gradient training.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.network import BYTES_PER_PARAM
+
+#: Cap on batch x units x dims elements per forward/backward chunk.
+_CHUNK_CELLS = 4_000_000
+
+
+def construction_grid_size(d: int, t: int) -> int:
+    """Number of g-units ``k = (t+1)^d`` used by the construction."""
+    if d < 1 or t < 1:
+        raise ValueError("need d >= 1 and t >= 1")
+    return (t + 1) ** d
+
+
+def grid_vertices(d: int, t: int) -> np.ndarray:
+    """All ``(t+1)^d`` grid vertices ``π^i/t``, ordered by base-(t+1) index.
+
+    Index ``i = Σ_r π_r (t+1)^(d−r)`` — the first coordinate is the most
+    significant digit, matching the paper's ordering.
+    """
+    axes = [np.arange(t + 1)] * d
+    mesh = np.meshgrid(*axes, indexing="ij")
+    pis = np.stack([m.ravel() for m in mesh], axis=1)  # (k, d), C order = paper order
+    return pis / float(t)
+
+
+class ConstructedNetwork:
+    """Theorem 3.4's g-unit network; optionally trainable (CS+SGD).
+
+    Attributes
+    ----------
+    a:
+        ``(k,)`` output weights, one per g-unit.
+    B:
+        ``(k, d)`` first-layer biases (grid-vertex coordinates initially).
+    b:
+        ``(1,)`` output bias (``f(0)`` initially).
+    M:
+        Second-layer weight magnitude; the paper's practical sections use
+        ``M = 1`` (Lemma A.2(c) requires it for d <= 3), which we default to.
+    """
+
+    def __init__(self, a: np.ndarray, B: np.ndarray, b: float, t: int, M: float = 1.0):
+        self.a = np.asarray(a, dtype=np.float64).ravel()
+        self.B = np.asarray(B, dtype=np.float64)
+        if self.B.ndim != 2 or self.B.shape[0] != self.a.shape[0]:
+            raise ValueError(f"inconsistent shapes a{self.a.shape}, B{self.B.shape}")
+        self.b = np.array([float(b)], dtype=np.float64)
+        self.t = int(t)
+        self.M = float(M)
+        self.da = np.zeros_like(self.a)
+        self.dB = np.zeros_like(self.B)
+        self.db = np.zeros_like(self.b)
+        self._cache: tuple | None = None
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def build(
+        cls,
+        f: Callable[[np.ndarray], np.ndarray],
+        d: int,
+        t: int,
+        M: float = 1.0,
+    ) -> "ConstructedNetwork":
+        """Run (the closed form of) Algorithm 1 for a function ``f`` on [0,1]^d.
+
+        ``f`` maps a batch ``(m, d)`` to values ``(m,)``.
+        """
+        vertices = grid_vertices(d, t)
+        values = np.asarray(f(vertices), dtype=np.float64).reshape((t + 1,) * d)
+        bias = float(values.flat[0])  # f(0)
+        target = t * (values - bias)
+        # d-dimensional backward difference: invert the box prefix-sum.
+        a_grid = target
+        for axis in range(d):
+            shifted = np.zeros_like(a_grid)
+            index: list = [slice(None)] * d
+            index[axis] = slice(1, None)
+            src: list = [slice(None)] * d
+            src[axis] = slice(0, -1)
+            shifted[tuple(index)] = a_grid[tuple(src)]
+            a_grid = a_grid - shifted
+        return cls(a_grid.ravel(), vertices, bias, t=t, M=M)
+
+    @classmethod
+    def build_algorithm1(
+        cls,
+        f: Callable[[np.ndarray], np.ndarray],
+        d: int,
+        t: int,
+        M: float = 1.0,
+    ) -> "ConstructedNetwork":
+        """Literal sequential Algorithm 1 (O(k²·d)); reference implementation.
+
+        Used by tests to validate the closed-form :meth:`build`.
+        """
+        vertices = grid_vertices(d, t)
+        k = vertices.shape[0]
+        values = np.asarray(f(vertices), dtype=np.float64).ravel()
+        bias = float(values[0])
+        a = np.zeros(k)
+        net = cls(a, vertices, bias, t=t, M=M)
+        for i in range(1, k):
+            y_hat = net.forward(vertices[i : i + 1])[0]
+            net.a[i] = t * (values[i] - y_hat)
+        return net
+
+    # ---------------------------------------------------------------- compute
+
+    @property
+    def k(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self.B.shape[1]
+
+    def forward(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        m = X.shape[0]
+        out = np.full(m, self.b[0])
+        chunk = max(1, _CHUNK_CELLS // max(1, self.k * self.d))
+        inv_t = 1.0 / self.t
+        caches = []
+        for start in range(0, m, chunk):
+            xb = X[start : start + chunk]  # (c, d)
+            z1 = self.B[None, :, :] - xb[:, None, :]  # (c, k, d)
+            h1 = np.maximum(z1, 0.0)
+            z2 = inv_t - self.M * h1.sum(axis=2)  # (c, k)
+            h2 = np.maximum(z2, 0.0)
+            out[start : start + chunk] += h2 @ self.a
+            caches.append((xb, z1 > 0, z2 > 0, h2))
+        self._cache = (X, chunk, caches)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        """Accumulate grads for ``a``, ``B`` and ``b`` (CS+SGD training)."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        grad_out = np.asarray(grad_out, dtype=np.float64).ravel()
+        X, chunk, caches = self._cache
+        self.db[0] += grad_out.sum()
+        for ci, start in enumerate(range(0, X.shape[0], chunk)):
+            go = grad_out[start : start + chunk]  # (c,)
+            _, mask1, mask2, h2 = caches[ci]
+            self.da += go @ h2  # (k,)
+            dz2 = (go[:, None] * self.a[None, :]) * mask2  # (c, k)
+            dz1 = (-self.M) * dz2[:, :, None] * mask1  # (c, k, d)
+            self.dB += dz1.sum(axis=0)
+
+    # ------------------------------------------------------- model protocol
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.a, self.B, self.b]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.da, self.dB, self.db]
+
+    def zero_grad(self) -> None:
+        for g in self.grads:
+            g[...] = 0.0
+
+    def num_params(self) -> int:
+        """k output weights + k·d biases + 1 bias (the Õ(k·d) of Lemma A.4)."""
+        return int(self.a.size + self.B.size + self.b.size)
+
+    def num_bytes(self) -> int:
+        return self.num_params() * BYTES_PER_PARAM
+
+    def to_dict(self) -> dict:
+        return {
+            "a": self.a.tolist(),
+            "B": self.B.tolist(),
+            "b": float(self.b[0]),
+            "t": self.t,
+            "M": self.M,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "ConstructedNetwork":
+        return cls(
+            np.asarray(state["a"]),
+            np.asarray(state["B"]),
+            state["b"],
+            t=state["t"],
+            M=state["M"],
+        )
+
+    def __repr__(self) -> str:
+        return f"ConstructedNetwork(d={self.d}, t={self.t}, k={self.k})"

@@ -1,0 +1,17 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He-normal init, the standard choice for ReLU layers."""
+    scale = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, scale, size=(fan_in, fan_out))
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier-uniform init, used for the linear output layer."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))

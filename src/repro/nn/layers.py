@@ -1,0 +1,84 @@
+"""Dense and ReLU layers with manual backprop.
+
+Layers cache whatever the backward pass needs during ``forward`` and expose
+``params``/``grads`` lists (possibly empty) consumed by optimizers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Layer:
+    """Minimal layer protocol."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return grad w.r.t. the layer input."""
+        raise NotImplementedError
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return []
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return []
+
+
+class Dense(Layer):
+    """Affine map ``x @ W + b``."""
+
+    def __init__(self, W: np.ndarray, b: np.ndarray) -> None:
+        self.W = np.asarray(W, dtype=np.float64)
+        self.b = np.asarray(b, dtype=np.float64)
+        if self.W.ndim != 2 or self.b.shape != (self.W.shape[1],):
+            raise ValueError(f"inconsistent shapes W{self.W.shape}, b{self.b.shape}")
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    @property
+    def fan_in(self) -> int:
+        return self.W.shape[0]
+
+    @property
+    def fan_out(self) -> int:
+        return self.W.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.dW += self._x.T @ grad_out
+        self.db += grad_out.sum(axis=0)
+        return grad_out @ self.W.T
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.dW, self.db]
+
+
+class ReLU(Layer):
+    """Elementwise ``max(0, x)``."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask

@@ -1,0 +1,17 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MSELoss:
+    """Mean squared error, the training objective of Alg. 4 (line 4)."""
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        diff = pred - target
+        return float(np.mean(diff * diff))
+
+    def grad(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """d(loss)/d(pred)."""
+        return 2.0 * (pred - target) / pred.shape[0]

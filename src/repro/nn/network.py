@@ -1,0 +1,129 @@
+"""Fully-connected ReLU regression networks (the NeuroSketch model class).
+
+The paper's architecture (Section 4.2): ``n_l`` layers where the first
+hidden layer has ``l_first`` units, subsequent hidden layers ``l_rest``
+units, the output layer 1 unit, ReLU activations everywhere except the
+output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, he_normal
+from repro.nn.layers import Dense, Layer, ReLU
+
+#: Bytes per parameter when reporting storage (float32 on disk, Section 5.1).
+BYTES_PER_PARAM = 4
+
+
+def mlp_architecture(
+    input_dim: int,
+    depth: int = 5,
+    width_first: int = 60,
+    width_rest: int = 30,
+) -> list[int]:
+    """Layer sizes (including input and the 1-unit output) for the paper's MLP.
+
+    ``depth`` counts weight layers, so ``depth=5`` with the default widths
+    gives ``input -> 60 -> 30 -> 30 -> 30 -> 1`` (the paper's default).
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if depth == 1:
+        return [input_dim, 1]
+    hidden = [width_first] + [width_rest] * (depth - 2)
+    return [input_dim] + hidden + [1]
+
+
+class MLP:
+    """A dense ReLU network with scalar output.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[input_dim, h1, ..., hk, 1]``.
+    seed:
+        Initialization seed.
+    """
+
+    def __init__(self, layer_sizes: list[int], seed: int | np.random.Generator = 0) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if any(s < 1 for s in layer_sizes):
+            raise ValueError(f"layer sizes must be positive, got {layer_sizes}")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self.layer_sizes = list(layer_sizes)
+        self.layers: list[Layer] = []
+        n_affine = len(layer_sizes) - 1
+        for i in range(n_affine):
+            fan_in, fan_out = layer_sizes[i], layer_sizes[i + 1]
+            is_output = i == n_affine - 1
+            init = glorot_uniform if is_output else he_normal
+            self.layers.append(Dense(init(rng, fan_in, fan_out), np.zeros(fan_out)))
+            if not is_output:
+                self.layers.append(ReLU())
+
+    # ---------------------------------------------------------------- compute
+
+    def forward(self, X: np.ndarray) -> np.ndarray:
+        """Batch forward pass; returns shape ``(m,)``."""
+        out = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out[:, 0]
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        """Accumulate parameter grads given d(loss)/d(output), shape ``(m,)``."""
+        grad = np.asarray(grad_out, dtype=np.float64).reshape(-1, 1)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`forward` (no training-mode distinction here)."""
+        return self.forward(X)
+
+    # ------------------------------------------------------------- parameters
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads]
+
+    def zero_grad(self) -> None:
+        for g in self.grads:
+            g[...] = 0.0
+
+    def num_params(self) -> int:
+        return int(sum(p.size for p in self.params))
+
+    def num_bytes(self) -> int:
+        """Storage footprint at float32 (the paper's storage metric)."""
+        return self.num_params() * BYTES_PER_PARAM
+
+    # ------------------------------------------------------------ persistence
+
+    def to_dict(self) -> dict:
+        return {
+            "layer_sizes": self.layer_sizes,
+            "params": [p.tolist() for p in self.params],
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "MLP":
+        net = cls(state["layer_sizes"], seed=0)
+        for p, saved in zip(net.params, state["params"]):
+            p[...] = np.asarray(saved, dtype=np.float64)
+        return net
+
+    def copy(self) -> "MLP":
+        clone = MLP(self.layer_sizes, seed=0)
+        for dst, src in zip(clone.params, self.params):
+            dst[...] = src
+        return clone
+
+    def __repr__(self) -> str:
+        return f"MLP({'-'.join(map(str, self.layer_sizes))}, {self.num_params()} params)"

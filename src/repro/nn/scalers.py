@@ -1,0 +1,46 @@
+"""Feature/target standardization for neural-network training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Z-score scaler; degenerate dimensions get unit scale."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        values = np.asarray(values, dtype=np.float64)
+        self.mean_ = values.mean(axis=0)
+        scale = values.std(axis=0)
+        self.scale_ = np.where(scale > 1e-12, scale, 1.0)
+        return self
+
+    def _check(self) -> None:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check()
+        return (np.asarray(values, dtype=np.float64) - self.mean_) / self.scale_
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check()
+        return np.asarray(values, dtype=np.float64) * self.scale_ + self.mean_
+
+    def to_dict(self) -> dict:
+        self._check()
+        return {"mean": np.atleast_1d(self.mean_).tolist(), "scale": np.atleast_1d(self.scale_).tolist()}
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "StandardScaler":
+        scaler = cls()
+        scaler.mean_ = np.asarray(state["mean"], dtype=np.float64)
+        scaler.scale_ = np.asarray(state["scale"], dtype=np.float64)
+        if scaler.mean_.size == 1:
+            scaler.mean_ = scaler.mean_.reshape(())
+            scaler.scale_ = scaler.scale_.reshape(())
+        return scaler

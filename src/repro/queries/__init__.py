@@ -1,0 +1,45 @@
+"""Query substrate: instances, predicates, aggregates, executor, workloads.
+
+The paper (Section 2 and 4.3) represents a range aggregate query as a
+*query instance* vector ``q`` plus a binary predicate function ``P_f(q, x)``
+and an aggregation function ``AGG``; the query function is
+``f_D(q) = AGG({x in D : P_f(q, x) = 1})``. This package provides:
+
+- :mod:`~repro.queries.aggregates` — COUNT/SUM/AVG/STD/VAR/MEDIAN/... registry.
+- :mod:`~repro.queries.predicates` — axis-aligned ranges (the SQL WHERE of
+  Section 2), rotated rectangles (Table 2), half-spaces and circles (4.3).
+- :mod:`~repro.queries.query_function` — exact ``f_D`` evaluation with
+  vectorized fast paths.
+- :mod:`~repro.queries.workload` — the query-instance samplers of Section 5.1.
+"""
+
+from repro.queries.aggregates import (
+    AGGREGATE_NAMES,
+    Aggregate,
+    Percentile,
+    get_aggregate,
+)
+from repro.queries.predicates import (
+    AxisRangePredicate,
+    CirclePredicate,
+    HalfSpacePredicate,
+    Predicate,
+    RotatedRectanglePredicate,
+)
+from repro.queries.query_function import QueryFunction
+from repro.queries.workload import WorkloadGenerator, train_test_queries
+
+__all__ = [
+    "AGGREGATE_NAMES",
+    "Aggregate",
+    "Percentile",
+    "get_aggregate",
+    "Predicate",
+    "AxisRangePredicate",
+    "RotatedRectanglePredicate",
+    "HalfSpacePredicate",
+    "CirclePredicate",
+    "QueryFunction",
+    "WorkloadGenerator",
+    "train_test_queries",
+]

@@ -1,0 +1,233 @@
+"""Predicate functions ``P_f(q, x)``.
+
+A predicate interprets a query-instance vector ``q`` and decides which rows
+of the (normalized) data it matches. The paper's Section 2 predicate is the
+axis-aligned range ``c_i <= A_i < c_i + r_i``; Section 4.3 generalizes to any
+parametric predicate — we implement the ones the paper uses or names:
+rotated rectangles (Table 2), half-spaces and circles.
+
+All predicates operate on the dataset's normalized view (attributes in
+``[0, 1]``) and expose:
+
+- ``param_dim`` — length of the query vector ``q``;
+- ``matches(q, X)`` — boolean mask over rows for one query;
+- ``sample(rng, ...)`` — a random query instance (used by workload
+  generators).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+
+class Predicate(ABC):
+    """A parametric predicate function over normalized data rows."""
+
+    #: Length of the query-instance vector this predicate consumes.
+    param_dim: int
+
+    @abstractmethod
+    def matches(self, q: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """Boolean match mask of shape ``(n,)`` for one query ``q``."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """A random query instance."""
+
+    def _check_params(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64).ravel()
+        if q.shape[0] != self.param_dim:
+            raise ValueError(
+                f"{type(self).__name__} expects {self.param_dim} parameters, got {q.shape[0]}"
+            )
+        return q
+
+
+class AxisRangePredicate(Predicate):
+    """The Section-2 SQL WHERE clause: ``c_i <= A_i < c_i + r_i`` per attribute.
+
+    Parameters
+    ----------
+    n_attrs:
+        Total number of dataset attributes.
+    active_attrs:
+        Indices of attributes that appear in the query vector. Remaining
+        attributes are unconstrained (``c = 0, r = 1`` — "not active" in the
+        paper's terminology).
+    fixed_r:
+        If given (one value per active attribute), the ranges are constant
+        and the query vector only carries the lower corners ``c`` — this is
+        the Example-2.1 form ``f_D(c1, c2) = f_D(c1, c2, 50m, 50m)``.
+
+    Query vector layout: ``[c_1..c_a]`` if ``fixed_r`` else
+    ``[c_1..c_a, r_1..r_a]`` where ``a = len(active_attrs)``.
+    """
+
+    def __init__(
+        self,
+        n_attrs: int,
+        active_attrs: Sequence[int] | None = None,
+        fixed_r: Sequence[float] | None = None,
+    ) -> None:
+        if n_attrs < 1:
+            raise ValueError("n_attrs must be positive")
+        self.n_attrs = int(n_attrs)
+        if active_attrs is None:
+            active_attrs = tuple(range(n_attrs))
+        self.active_attrs = tuple(int(a) for a in active_attrs)
+        if not self.active_attrs:
+            raise ValueError("at least one active attribute is required")
+        if any(a < 0 or a >= n_attrs for a in self.active_attrs):
+            raise ValueError(f"active attribute out of range for {n_attrs} attributes")
+        if len(set(self.active_attrs)) != len(self.active_attrs):
+            raise ValueError("active attributes must be distinct")
+
+        self.n_active = len(self.active_attrs)
+        if fixed_r is not None:
+            fixed = np.asarray(fixed_r, dtype=np.float64).ravel()
+            if fixed.shape[0] != self.n_active:
+                raise ValueError("fixed_r needs one value per active attribute")
+            if np.any(fixed <= 0) or np.any(fixed > 1):
+                raise ValueError("fixed_r values must lie in (0, 1]")
+            self.fixed_r: np.ndarray | None = fixed
+            self.param_dim = self.n_active
+        else:
+            self.fixed_r = None
+            self.param_dim = 2 * self.n_active
+
+    # ------------------------------------------------------------- unpacking
+
+    def bounds(self, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Full ``(lo, hi)`` bounds over all ``n_attrs`` attributes."""
+        q = self._check_params(q)
+        lo = np.zeros(self.n_attrs)
+        hi = np.ones(self.n_attrs)
+        active = list(self.active_attrs)
+        if self.fixed_r is not None:
+            c, r = q, self.fixed_r
+        else:
+            c, r = q[: self.n_active], q[self.n_active :]
+        lo[active] = c
+        hi[active] = c + r
+        return lo, hi
+
+    def batch_bounds(self, Q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(lo, hi)`` arrays of shape ``(m, n_attrs)`` for a query batch."""
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        if Q.shape[1] != self.param_dim:
+            raise ValueError(f"expected {self.param_dim}-dim queries, got {Q.shape[1]}")
+        m = Q.shape[0]
+        lo = np.zeros((m, self.n_attrs))
+        hi = np.ones((m, self.n_attrs))
+        active = list(self.active_attrs)
+        if self.fixed_r is not None:
+            c = Q
+            r = np.broadcast_to(self.fixed_r, (m, self.n_active))
+        else:
+            c, r = Q[:, : self.n_active], Q[:, self.n_active :]
+        lo[:, active] = c
+        hi[:, active] = c + r
+        return lo, hi
+
+    # --------------------------------------------------------------- matching
+
+    def matches(self, q: np.ndarray, X: np.ndarray) -> np.ndarray:
+        lo, hi = self.bounds(q)
+        return np.all((X >= lo) & (X < hi), axis=1)
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        range_frac: float | None = None,
+        n_active: int | None = None,
+    ) -> np.ndarray:
+        """One random query: see :class:`~repro.queries.workload.WorkloadGenerator`."""
+        from repro.queries.workload import sample_axis_queries  # local to avoid cycle
+
+        return sample_axis_queries(self, 1, rng, range_frac=range_frac, n_active=n_active)[0]
+
+    def __repr__(self) -> str:
+        fixed = "" if self.fixed_r is None else f", fixed_r={self.fixed_r.tolist()}"
+        return f"AxisRangePredicate(n_attrs={self.n_attrs}, active={self.active_attrs}{fixed})"
+
+
+class RotatedRectanglePredicate(Predicate):
+    """General rectangle: two opposite vertices plus a rotation angle (Table 2).
+
+    Query vector ``q = (p1x, p1y, p2x, p2y, phi)``: ``p1``/``p2`` are two
+    non-adjacent vertices and ``phi`` the angle the rectangle's first axis
+    makes with the x-axis. Operates on two designated attributes (default the
+    first two).
+    """
+
+    param_dim = 5
+
+    def __init__(self, attrs: tuple[int, int] = (0, 1), max_side: float = 0.3):
+        self.attrs = (int(attrs[0]), int(attrs[1]))
+        self.max_side = float(max_side)
+
+    def matches(self, q: np.ndarray, X: np.ndarray) -> np.ndarray:
+        q = self._check_params(q)
+        p1, p2, phi = q[0:2], q[2:4], q[4]
+        pts = X[:, list(self.attrs)]
+        # Rectangle axes.
+        u = np.array([np.cos(phi), np.sin(phi)])
+        v = np.array([-np.sin(phi), np.cos(phi)])
+        pu, p1u, p2u = pts @ u, p1 @ u, p2 @ u
+        pv, p1v, p2v = pts @ v, p1 @ v, p2 @ v
+        lo_u, hi_u = min(p1u, p2u), max(p1u, p2u)
+        lo_v, hi_v = min(p1v, p2v), max(p1v, p2v)
+        return (pu >= lo_u) & (pu < hi_u) & (pv >= lo_v) & (pv < hi_v)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        phi = rng.uniform(0.0, np.pi / 2.0)
+        center = rng.uniform(0.2, 0.8, size=2)
+        half = rng.uniform(0.02, self.max_side / 2.0, size=2)
+        u = np.array([np.cos(phi), np.sin(phi)])
+        v = np.array([-np.sin(phi), np.cos(phi)])
+        p1 = center - half[0] * u - half[1] * v
+        p2 = center + half[0] * u + half[1] * v
+        return np.array([p1[0], p1[1], p2[0], p2[1], phi])
+
+
+class HalfSpacePredicate(Predicate):
+    """Half-space above a line: ``x[b] > x[a] * q[0] + q[1]`` (Section 4.3)."""
+
+    param_dim = 2
+
+    def __init__(self, attrs: tuple[int, int] = (0, 1)):
+        self.attrs = (int(attrs[0]), int(attrs[1]))
+
+    def matches(self, q: np.ndarray, X: np.ndarray) -> np.ndarray:
+        q = self._check_params(q)
+        a, b = self.attrs
+        return X[:, b] > X[:, a] * q[0] + q[1]
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        slope = rng.uniform(-2.0, 2.0)
+        intercept = rng.uniform(-0.5, 1.0)
+        return np.array([slope, intercept])
+
+
+class CirclePredicate(Predicate):
+    """Circular range: ``||x - center||_2 <= radius`` (Section 3.3.2)."""
+
+    param_dim = 3
+
+    def __init__(self, attrs: tuple[int, int] = (0, 1), max_radius: float = 0.3):
+        self.attrs = (int(attrs[0]), int(attrs[1]))
+        self.max_radius = float(max_radius)
+
+    def matches(self, q: np.ndarray, X: np.ndarray) -> np.ndarray:
+        q = self._check_params(q)
+        center, radius = q[:2], q[2]
+        pts = X[:, list(self.attrs)]
+        return np.sum((pts - center) ** 2, axis=1) <= radius * radius
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        center = rng.uniform(0.1, 0.9, size=2)
+        radius = rng.uniform(0.02, self.max_radius)
+        return np.array([center[0], center[1], radius])

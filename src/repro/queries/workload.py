@@ -1,0 +1,133 @@
+"""Workload generators (Section 5.1 of the paper).
+
+The paper's query distribution: to generate a query with ``r`` active
+attributes, select ``r`` attributes uniformly at random from the predicate's
+available attributes, then generate a uniformly random range per active
+attribute; inactive attributes are unconstrained (``c=0, r=1``). Experiments
+optionally fix the range width to a fraction of the domain (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queries.predicates import AxisRangePredicate, Predicate
+from repro.queries.query_function import QueryFunction
+
+
+def sample_axis_queries(
+    predicate: AxisRangePredicate,
+    m: int,
+    rng: np.random.Generator,
+    range_frac: float | None = None,
+    n_active: int | None = None,
+    min_width: float = 0.01,
+) -> np.ndarray:
+    """Sample ``m`` query vectors for an axis-range predicate.
+
+    Parameters
+    ----------
+    range_frac:
+        If given, every active attribute's range width is exactly this
+        fraction of the domain (the Fig. 7 setting); otherwise widths are
+        uniform: ``(c, c+r)`` are two sorted U[0, 1] draws, floored at
+        ``min_width``.
+    n_active:
+        Number of active attributes per query, chosen uniformly from the
+        predicate's attribute set. ``None`` activates all of them.
+    """
+    a = predicate.n_active
+    if n_active is None:
+        n_active = a
+    if not 1 <= n_active <= a:
+        raise ValueError(f"n_active must be in [1, {a}], got {n_active}")
+
+    if predicate.fixed_r is not None:
+        # Only lower corners are free; keep the box inside [0, 1].
+        c_max = 1.0 - predicate.fixed_r
+        return rng.uniform(0.0, 1.0, size=(m, a)) * c_max
+
+    # Sample ranges for all attribute slots, then deactivate all but
+    # n_active randomly chosen slots per query.
+    if range_frac is not None:
+        if not 0.0 < range_frac <= 1.0:
+            raise ValueError(f"range_frac must be in (0, 1], got {range_frac}")
+        r = np.full((m, a), float(range_frac))
+        c = rng.uniform(0.0, 1.0, size=(m, a)) * (1.0 - r)
+    else:
+        u = np.sort(rng.uniform(0.0, 1.0, size=(m, a, 2)), axis=2)
+        c = u[:, :, 0]
+        r = np.maximum(u[:, :, 1] - u[:, :, 0], min_width)
+        c = np.minimum(c, 1.0 - r)
+
+    if n_active < a:
+        # Per-query random subset of active slots; others become c=0, r=1.
+        scores = rng.random((m, a))
+        keep_rank = np.argsort(scores, axis=1)[:, :n_active]
+        keep = np.zeros((m, a), dtype=bool)
+        np.put_along_axis(keep, keep_rank, True, axis=1)
+        c = np.where(keep, c, 0.0)
+        r = np.where(keep, r, 1.0)
+
+    return np.concatenate([c, r], axis=1)
+
+
+class WorkloadGenerator:
+    """Query-instance sampler bound to a query function.
+
+    For axis-range predicates it implements the paper's Section-5.1 scheme;
+    for other predicates it defers to the predicate's own ``sample``.
+    """
+
+    def __init__(
+        self,
+        query_function: QueryFunction,
+        seed: int | np.random.Generator = 0,
+        n_active: int | None = None,
+        range_frac: float | None = None,
+    ) -> None:
+        self.query_function = query_function
+        self.rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self.n_active = n_active
+        self.range_frac = range_frac
+
+    @property
+    def predicate(self) -> Predicate:
+        return self.query_function.predicate
+
+    def sample(self, m: int) -> np.ndarray:
+        """``(m, d)`` query vectors."""
+        pred = self.predicate
+        if isinstance(pred, AxisRangePredicate):
+            return sample_axis_queries(
+                pred, m, self.rng, range_frac=self.range_frac, n_active=self.n_active
+            )
+        return np.stack([pred.sample(self.rng) for _ in range(m)])
+
+    def labelled_sample(self, m: int) -> tuple[np.ndarray, np.ndarray]:
+        """Queries plus exact answers (training-set generation, Alg. 4)."""
+        Q = self.sample(m)
+        return Q, self.query_function(Q)
+
+
+def train_test_queries(
+    workload: WorkloadGenerator,
+    n_train: int,
+    n_test: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Disjoint train/test query sets with exact labels.
+
+    The paper "ensures none of the test queries are in the training set";
+    with continuous query vectors, exact duplicates are measure-zero, but we
+    deduplicate defensively.
+    """
+    Q_train, y_train = workload.labelled_sample(n_train)
+    Q_test = workload.sample(n_test)
+    # Drop exact duplicates of training queries (vanishingly rare).
+    train_keys = {q.tobytes() for q in Q_train}
+    fresh = np.array([q.tobytes() not in train_keys for q in Q_test])
+    while not np.all(fresh):
+        Q_test[~fresh] = workload.sample(int((~fresh).sum()))
+        fresh = np.array([q.tobytes() not in train_keys for q in Q_test])
+    y_test = workload.query_function(Q_test)
+    return Q_train, y_train, Q_test, y_test
