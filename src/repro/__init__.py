@@ -13,13 +13,12 @@ The package is organized as:
   executor and workload generators.
 - :mod:`repro.data` — dataset containers and the (simulated) datasets of the
   paper's evaluation: PM2.5, TPC-DS store_sales, Veraset visits, GMMs.
-- :mod:`repro.baselines` — TREE-AGG (R-tree over a uniform sample),
-  VerdictDB-lite, DBEst-lite (mixture density networks), DeepDB-lite
-  (sum-product networks) and histogram synopses.
-- :mod:`repro.theory` — the DQD bound: LDQ Lipschitz constants, the
-  VC-sampling bound (Theorem 3.5) and the approximation bound (Theorem 3.4).
-- :mod:`repro.bench` — the experiment harness regenerating every table and
-  figure of the paper's evaluation section.
+- :mod:`repro.baselines` — exact scan, TREE-AGG (R-tree over a uniform
+  sample) and VerdictDB-lite; DBEst-lite / DeepDB-lite / histogram
+  synopses are planned (ROADMAP.md).
+- :mod:`repro.eval` — the experiment harness: Section-5.1 metrics, timing,
+  a uniform estimator protocol, the end-to-end runner and ``BENCH_*.json``
+  reporting behind the ``python -m repro`` CLI.
 
 Quickstart::
 

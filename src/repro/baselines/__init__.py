@@ -6,12 +6,10 @@
   scratch in :mod:`repro.baselines.rtree`).
 - :class:`~repro.baselines.verdictdb.VerdictLite` — VerdictDB-style
   scramble-sample engine (uniform sample, no index).
-- :class:`~repro.baselines.dbest.DBEstLite` — DBEst-style per-attribute
-  (density, MDN regression) models.
-- :class:`~repro.baselines.deepdb.DeepDBLite` — DeepDB-style sum-product
-  network with RDC-based structure learning.
-- :class:`~repro.baselines.histogram.HistogramSynopsis` — classic
-  equi-width histogram synopsis (extra non-learned reference).
+
+DBEst-lite (mixture density networks), DeepDB-lite (sum-product networks)
+and a histogram synopsis are planned (see ROADMAP.md) but not implemented
+yet; the bench harness's estimator registry only exposes what exists.
 """
 
 from repro.baselines.base import AQPMethod
@@ -19,11 +17,6 @@ from repro.baselines.exact import ExactScan
 from repro.baselines.rtree import RTree
 from repro.baselines.tree_agg import TreeAgg
 from repro.baselines.verdictdb import VerdictLite
-from repro.baselines.mdn import MixtureDensityNetwork
-from repro.baselines.dbest import DBEstLite
-from repro.baselines.spn import SPN, rdc
-from repro.baselines.deepdb import DeepDBLite
-from repro.baselines.histogram import HistogramSynopsis
 
 __all__ = [
     "AQPMethod",
@@ -31,10 +24,4 @@ __all__ = [
     "RTree",
     "TreeAgg",
     "VerdictLite",
-    "MixtureDensityNetwork",
-    "DBEstLite",
-    "SPN",
-    "rdc",
-    "DeepDBLite",
-    "HistogramSynopsis",
 ]

@@ -1,0 +1,192 @@
+"""``python -m repro`` / ``repro`` — the experiment command line.
+
+Subcommands:
+
+- ``run`` — one end-to-end experiment; prints a summary table and writes
+  ``BENCH_<name>.json``.
+- ``compare`` — side-by-side table over previously written BENCH files.
+- ``list-datasets`` — the dataset registry (paper sizes, defaults, aliases).
+
+``repro run --dataset synthetic --estimators neurosketch,exact,rtree --fast``
+is the CI smoke invocation: the ``--fast`` profile clamps data size,
+workload and training budget so the full pipeline finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+from repro.data.registry import (
+    DATASET_NAMES,
+    aliases_by_dataset,
+    dataset_info,
+    resolve_dataset_name,
+)
+from repro.eval.adapters import estimator_names
+from repro.eval.reporting import (
+    format_comparison_table,
+    format_result_table,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.eval.runner import ExperimentConfig, run_experiment
+
+
+def _parse_estimators(spec: str) -> tuple[str, ...]:
+    names = tuple(s.strip() for s in spec.split(",") if s.strip())
+    if not names:
+        raise argparse.ArgumentTypeError("expected a comma-separated estimator list")
+    return names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NeuroSketch reproduction: run and compare RAQ experiments.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment end-to-end")
+    run.add_argument("--dataset", default="synthetic",
+                     help="registry name or alias (see list-datasets)")
+    run.add_argument("--estimators", type=_parse_estimators,
+                     default=("neurosketch", "exact", "uniform"),
+                     help=f"comma-separated subset of {', '.join(estimator_names())}")
+    run.add_argument("--aggregate", default="AVG", help="aggregate function (AVG, SUM, ...)")
+    run.add_argument("--n-rows", type=int, default=None, help="dataset rows (registry default)")
+    run.add_argument("--n-train", type=int, default=2_000, help="training queries")
+    run.add_argument("--n-test", type=int, default=500, help="test queries")
+    run.add_argument("--seed", type=int, default=0, help="experiment seed")
+    run.add_argument("--epochs", type=int, default=60, help="NeuroSketch training epochs")
+    run.add_argument("--tree-height", type=int, default=4, help="NeuroSketch kd-tree height h")
+    run.add_argument("--partitions", type=int, default=8,
+                     help="NeuroSketch leaf target s after merging (0 disables merging)")
+    run.add_argument("--sample-frac", type=float, default=0.1,
+                     help="sample fraction for tree-agg / verdictdb")
+    run.add_argument("--fast", action="store_true",
+                     help="CI smoke profile: tiny workload, epochs <= 5")
+    run.add_argument("--name", default=None,
+                     help="experiment name for BENCH_<name>.json (default: the dataset arg)")
+    run.add_argument("--out-dir", default=".", help="directory for the BENCH file")
+    run.add_argument("--no-bench", action="store_true", help="skip writing the BENCH file")
+    run.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    compare = sub.add_parser("compare", help="compare previously written BENCH files")
+    compare.add_argument("bench_files", nargs="+", help="paths to BENCH_*.json files")
+
+    sub.add_parser("list-datasets", help="show the dataset registry")
+
+    return parser
+
+
+def _operator_error(exc: Exception) -> int:
+    """Print an expected operator error (bad name, unreadable file) cleanly."""
+    # KeyError reprs its message if str()'d directly; OSError's args[0] is an
+    # errno. Pick whichever reads as a sentence.
+    reason = str(exc) if isinstance(exc, OSError) else (exc.args[0] if exc.args else exc)
+    print(f"repro: error: {reason}", file=sys.stderr)
+    return 2
+
+
+#: Preferred BENCH trajectory name per canonical dataset, so alias spellings
+#: (synthetic/gmm/G5) all write the same BENCH_* file across PRs. The first
+#: registered alias per dataset wins; unaliased datasets use their own name.
+_BENCH_NAMES: dict[str, str] = {
+    target: aliases[0] for target, aliases in aliases_by_dataset().items()
+}
+
+
+def _default_bench_name(dataset_arg: str) -> str:
+    canonical = resolve_dataset_name(dataset_arg)
+    return _BENCH_NAMES.get(canonical, canonical)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        config = ExperimentConfig(
+            dataset=args.dataset,
+            n_rows=args.n_rows,
+            aggregate=args.aggregate,
+            estimators=args.estimators,
+            n_train=args.n_train,
+            n_test=args.n_test,
+            seed=args.seed,
+            tree_height=args.tree_height,
+            n_partitions=None if args.partitions == 0 else args.partitions,
+            epochs=args.epochs,
+            sample_frac=args.sample_frac,
+            fast=args.fast,
+        )
+        name = args.name if args.name else _default_bench_name(args.dataset)
+    except (KeyError, ValueError) as exc:
+        return _operator_error(exc)
+    progress = None if args.quiet else (lambda msg: print(f"[repro] {msg}", file=sys.stderr))
+    result = run_experiment(config, progress=progress)
+    print(format_result_table(result))
+    if not args.no_bench:
+        try:
+            path = write_bench_json(result, name, args.out_dir)
+        except OSError as exc:  # unwritable --out-dir
+            return _operator_error(exc)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    benches: dict[str, dict] = {}
+    for raw in args.bench_files:
+        path = Path(raw)
+        label = path.stem.removeprefix("BENCH_")
+        if label in benches:  # two files with the same stem from different dirs
+            label = str(path)
+        try:
+            benches[label] = load_bench_json(path)
+        except (OSError, ValueError) as exc:  # missing file / malformed JSON
+            return _operator_error(exc)
+    try:
+        table = format_comparison_table(benches)
+    except (KeyError, TypeError, AttributeError) as exc:
+        # BENCH files are cross-PR artifacts; a foreign or pre-schema file
+        # must fail as an operator error, not a traceback.
+        return _operator_error(
+            ValueError(f"bench file does not match the expected schema: {exc!r}")
+        )
+    print(table)
+    return 0
+
+
+def _cmd_list_datasets(_: argparse.Namespace) -> int:
+    alias_of = aliases_by_dataset()
+    print(f"{'name':<8}{'paper n':>12}{'dim':>6}{'default n':>12}  aliases")
+    for name in DATASET_NAMES:
+        info = dataset_info(name)
+        aliases = ", ".join(sorted(alias_of.get(name, []))) or "-"
+        print(f"{name:<8}{info['paper_n']:>12}{info['dim']:>6}{info['default_n']:>12}  {aliases}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "list-datasets": _cmd_list_datasets,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); exit quietly
+        # like standard Unix tools. Redirect stdout so the interpreter's
+        # shutdown flush doesn't raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -119,6 +119,24 @@ class QueryKDTree:
     def n_leaves(self) -> int:
         return len(self.leaves())
 
+    @property
+    def n_internal(self) -> int:
+        """Number of internal (split) nodes, counted from the structure.
+
+        Equals ``n_leaves - 1`` while the tree stays full binary (build and
+        merging both preserve that); counting directly keeps storage
+        accounting independent of the invariant.
+        """
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                count += 1
+                stack.append(node.left)
+                stack.append(node.right)
+        return count
+
     def sibling_pairs(self) -> list[tuple[KDNode, KDNode, KDNode]]:
         """All ``(parent, left, right)`` triples whose children are both leaves."""
         out: list[tuple[KDNode, KDNode, KDNode]] = []

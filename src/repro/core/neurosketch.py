@@ -173,12 +173,11 @@ class NeuroSketch:
         return sum(m.regressor.num_params() for m in self.models.values())
 
     def num_bytes(self) -> int:
-        """Model storage (the paper's storage metric; the kd-tree adds
-        a negligible 2 floats per internal node)."""
+        """Model storage (the paper's storage metric; each kd-tree internal
+        node adds its split ``(dim, val)`` pair, 16 bytes)."""
         self._check_fitted()
         model_bytes = sum(m.regressor.num_bytes() for m in self.models.values())
-        n_internal = max(0, self.tree.n_leaves - 1)
-        return model_bytes + 8 * n_internal
+        return model_bytes + 16 * self.tree.n_internal
 
     def describe(self) -> dict:
         self._check_fitted()

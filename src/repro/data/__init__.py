@@ -17,7 +17,13 @@ DESIGN.md, "Environment substitutions").
 
 from repro.data.dataset import Dataset
 from repro.data.normalization import MinMaxScaler
-from repro.data.registry import DATASET_NAMES, dataset_info, load_dataset
+from repro.data.registry import (
+    DATASET_ALIASES,
+    DATASET_NAMES,
+    dataset_info,
+    load_dataset,
+    resolve_dataset_name,
+)
 from repro.data.synthetic import (
     make_gaussian,
     make_gmm,
@@ -32,9 +38,11 @@ from repro.data.staypoints import detect_staypoints
 __all__ = [
     "Dataset",
     "MinMaxScaler",
+    "DATASET_ALIASES",
     "DATASET_NAMES",
     "dataset_info",
     "load_dataset",
+    "resolve_dataset_name",
     "make_uniform",
     "make_gaussian",
     "make_gmm",

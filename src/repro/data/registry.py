@@ -50,19 +50,49 @@ _BUILDERS: dict[str, Callable[[int, int], Dataset]] = {
 
 DATASET_NAMES: tuple[str, ...] = tuple(_BUILDERS)
 
+#: Friendly lowercase aliases accepted anywhere a dataset name is (CLI, eval).
+DATASET_ALIASES: dict[str, str] = {
+    "synthetic": "G5",
+    "gmm": "G5",
+    "pm25": "PM",
+    "tpcds": "TPC1",
+    "veraset": "VS",
+}
+
+
+def aliases_by_dataset() -> dict[str, list[str]]:
+    """Canonical name -> its aliases, in registration order (first = primary)."""
+    out: dict[str, list[str]] = {}
+    for alias, target in DATASET_ALIASES.items():
+        out.setdefault(target, []).append(alias)
+    return out
+
+
+def resolve_dataset_name(name: str) -> str:
+    """Canonical registry key for ``name`` (alias- and case-tolerant)."""
+    if name in _BUILDERS:
+        return name
+    key = name.strip().lower()
+    if key in DATASET_ALIASES:
+        return DATASET_ALIASES[key]
+    if key.upper() in _BUILDERS:
+        return key.upper()
+    raise KeyError(
+        f"unknown dataset {name!r}; have {DATASET_NAMES} "
+        f"(aliases: {tuple(DATASET_ALIASES)})"
+    )
+
 
 def load_dataset(name: str, n: int | None = None, seed: int = 0) -> Dataset:
     """Build one of the paper's datasets by name (see :data:`DATASET_NAMES`)."""
-    if name not in _BUILDERS:
-        raise KeyError(f"unknown dataset {name!r}; have {DATASET_NAMES}")
+    name = resolve_dataset_name(name)
     n = n if n is not None else DEFAULT_SIZES[name]
     return _BUILDERS[name](n, seed)
 
 
 def dataset_info(name: str) -> dict:
     """Table-1 style info: paper size/dim and laptop default size."""
-    if name not in PAPER_SIZES:
-        raise KeyError(f"unknown dataset {name!r}; have {DATASET_NAMES}")
+    name = resolve_dataset_name(name)
     paper_n, dim = PAPER_SIZES[name]
     return {
         "name": name,

@@ -1,0 +1,112 @@
+"""Accuracy metrics for RAQ estimators (Section 5.1 of the paper).
+
+The paper's headline accuracy metric is the *normalized absolute error*:
+per-query absolute error averaged over the test workload, normalized by the
+average magnitude of the exact answers, so errors are comparable across
+aggregation functions and datasets whose answers live on very different
+scales. Relative error (per-query ``|err| / |truth|``) is reported alongside
+it, floored to avoid blow-ups on near-zero answers (empty ranges answer 0 by
+the package convention).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(pred: np.ndarray, true: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(pred, dtype=np.float64).ravel()
+    true = np.asarray(true, dtype=np.float64).ravel()
+    if pred.shape != true.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs true {true.shape}")
+    if pred.size == 0:
+        raise ValueError("cannot score an empty prediction set")
+    return pred, true
+
+
+def mae(pred: np.ndarray, true: np.ndarray) -> float:
+    """Mean absolute error."""
+    pred, true = _validate(pred, true)
+    return float(np.abs(pred - true).mean())
+
+
+def rmse(pred: np.ndarray, true: np.ndarray) -> float:
+    """Root mean squared error."""
+    pred, true = _validate(pred, true)
+    return float(np.sqrt(np.mean((pred - true) ** 2)))
+
+
+def normalized_mae(pred: np.ndarray, true: np.ndarray) -> float:
+    """Normalized absolute error, the paper's accuracy metric.
+
+    ``mean(|pred - true|) / mean(|true|)``. When every exact answer is zero
+    the normalizer is degenerate and the plain MAE is returned.
+    """
+    pred, true = _validate(pred, true)
+    scale = np.abs(true).mean()
+    err = np.abs(pred - true).mean()
+    if scale <= 0.0:
+        return float(err)
+    return float(err / scale)
+
+
+def relative_error(
+    pred: np.ndarray,
+    true: np.ndarray,
+    floor: float | None = None,
+) -> float:
+    """Mean per-query relative error ``|pred - true| / max(|true|, floor)``.
+
+    ``floor`` guards against division by near-zero exact answers (e.g. empty
+    ranges); it defaults to 10% of the mean answer magnitude, or 1.0 when
+    all answers are zero.
+    """
+    pred, true = _validate(pred, true)
+    if floor is None:
+        scale = np.abs(true).mean()
+        floor = 0.1 * scale if scale > 0.0 else 1.0
+    if floor <= 0.0:
+        raise ValueError("floor must be positive")
+    denom = np.maximum(np.abs(true), floor)
+    return float((np.abs(pred - true) / denom).mean())
+
+
+def median_relative_error(
+    pred: np.ndarray,
+    true: np.ndarray,
+    floor: float | None = None,
+) -> float:
+    """Median per-query relative error (robust to tail queries)."""
+    pred, true = _validate(pred, true)
+    if floor is None:
+        scale = np.abs(true).mean()
+        floor = 0.1 * scale if scale > 0.0 else 1.0
+    if floor <= 0.0:
+        raise ValueError("floor must be positive")
+    denom = np.maximum(np.abs(true), floor)
+    return float(np.median(np.abs(pred - true) / denom))
+
+
+def uniform_answer_error(y_train: np.ndarray, y_test: np.ndarray) -> float:
+    """Normalized MAE of the trivial estimator answering ``mean(y_train)``.
+
+    The sanity baseline every learned estimator must beat: it ignores the
+    query entirely.
+    """
+    y_train = np.asarray(y_train, dtype=np.float64).ravel()
+    if y_train.size == 0:
+        raise ValueError("y_train must be non-empty")
+    constant = float(y_train.mean())
+    y_test = np.asarray(y_test, dtype=np.float64).ravel()
+    return normalized_mae(np.full(y_test.shape, constant), y_test)
+
+
+def error_summary(pred: np.ndarray, true: np.ndarray) -> dict[str, float]:
+    """All accuracy metrics as a flat dict (what the runner records)."""
+    return {
+        "mae": mae(pred, true),
+        "rmse": rmse(pred, true),
+        "normalized_mae": normalized_mae(pred, true),
+        "relative_error": relative_error(pred, true),
+        "median_relative_error": median_relative_error(pred, true),
+    }

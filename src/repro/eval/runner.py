@@ -1,0 +1,270 @@
+"""End-to-end experiment runner: config in, measured result out.
+
+``run_experiment`` reproduces the paper's evaluation loop (Section 5):
+build a dataset, sample a query workload, label it with the exact executor,
+fit each requested estimator, then score accuracy (Section 5.1 metrics),
+per-query latency (warmup + repeats on ``predict_one``), batched
+throughput, build time and storage. Everything is seeded, so the same
+config yields the same numbers modulo wall-clock noise in the timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+
+import numpy as np
+
+from repro.data.registry import load_dataset, resolve_dataset_name
+from repro.eval.adapters import build_estimator, resolve_estimator_name
+from repro.eval.metrics import error_summary, uniform_answer_error
+from repro.eval.timing import LatencyStats, time_batch, time_per_query, timed
+from repro.queries.aggregates import get_aggregate
+from repro.queries.query_function import QueryFunction
+from repro.queries.workload import WorkloadGenerator, train_test_queries
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A fully-specified experiment; frozen so results can snapshot it.
+
+    ``dataset`` accepts registry names (``G5``, ``PM``, ...) and friendly
+    aliases (``synthetic``, ``pm25``, ``tpcds``, ``veraset``). ``fast=True``
+    (the CLI's ``--fast``) applies via :meth:`fast_profile`, clamping the
+    workload and training budget so a full run finishes in seconds.
+    """
+
+    dataset: str = "synthetic"
+    n_rows: int | None = None
+    aggregate: str = "AVG"
+    estimators: tuple[str, ...] = ("neurosketch", "uniform")
+    n_train: int = 2_000
+    n_test: int = 500
+    n_active: int | None = None
+    range_frac: float | None = None
+    seed: int = 0
+    # NeuroSketch knobs (paper defaults: h=4, s=8, 5 layers of 60/30).
+    tree_height: int = 4
+    n_partitions: int | None = 8
+    depth: int = 5
+    width_first: int = 60
+    width_rest: int = 30
+    epochs: int = 60
+    batch_size: int = 256
+    lr: float = 1e-3
+    # Sampling baselines.
+    sample_frac: float = 0.1
+    # Timing harness.
+    n_timing_queries: int = 200
+    timing_warmup: int = 20
+    timing_repeats: int = 3
+    fast: bool = False
+
+    def __post_init__(self) -> None:
+        # Validate eagerly so config errors surface before any work happens.
+        resolve_dataset_name(self.dataset)
+        get_aggregate(self.aggregate)
+        if not self.estimators:
+            raise ValueError("at least one estimator is required")
+        resolved = []
+        for e in self.estimators:
+            canonical = resolve_estimator_name(e)
+            if canonical not in resolved:  # aliases must not run an estimator twice
+                resolved.append(canonical)
+        object.__setattr__(self, "estimators", tuple(resolved))
+        if self.n_train < 1 or self.n_test < 1:
+            raise ValueError("n_train and n_test must be positive")
+        if self.n_rows is not None and self.n_rows < 1:
+            raise ValueError("n_rows must be positive (or omitted for the registry default)")
+        if self.tree_height < 0:
+            raise ValueError("tree_height must be >= 0")
+        if self.n_partitions is not None and self.n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1 (or None to disable merging)")
+        if self.depth < 1 or self.width_first < 1 or self.width_rest < 1:
+            raise ValueError("depth and layer widths must be >= 1")
+        if self.epochs < 1 or self.batch_size < 1 or self.lr <= 0.0:
+            raise ValueError("epochs and batch_size must be >= 1 and lr positive")
+        if not 0.0 < self.sample_frac <= 1.0:
+            raise ValueError("sample_frac must be in (0, 1]")
+        if self.n_timing_queries < 1 or self.timing_warmup < 0 or self.timing_repeats < 1:
+            raise ValueError("timing knobs must be positive (warmup may be 0)")
+
+    def fast_profile(self) -> "ExperimentConfig":
+        """A copy clamped for CI smoke runs (< 1 minute end-to-end)."""
+        # With epochs clamped to 5, per-leaf gradient steps are what make
+        # NeuroSketch beat the uniform baseline: a shallow tree keeps leaf
+        # training sets large, and small batches with a hotter learning rate
+        # buy ~25 Adam steps per leaf inside the epoch budget.
+        return replace(
+            self,
+            fast=True,
+            n_rows=2_000 if self.n_rows is None else min(self.n_rows, 2_000),
+            n_train=min(self.n_train, 400),
+            n_test=min(self.n_test, 120),
+            tree_height=min(self.tree_height, 1),
+            n_partitions=None if self.n_partitions is None else min(self.n_partitions, 4),
+            depth=min(self.depth, 3),
+            width_first=min(self.width_first, 24),
+            width_rest=min(self.width_rest, 12),
+            epochs=min(self.epochs, 5),
+            batch_size=min(self.batch_size, 16),
+            lr=max(self.lr, 2e-2),
+            n_timing_queries=min(self.n_timing_queries, 50),
+            timing_warmup=min(self.timing_warmup, 5),
+            timing_repeats=min(self.timing_repeats, 2),
+        )
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["estimators"] = list(self.estimators)
+        return out
+
+
+@dataclass
+class EstimatorResult:
+    """Measurements for one estimator on one experiment."""
+
+    name: str
+    supported: bool
+    build_s: float | None = None
+    num_bytes: int | None = None
+    errors: dict[str, float] = field(default_factory=dict)
+    latency: LatencyStats | None = None
+    batch: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "supported": self.supported,
+            "build_s": self.build_s,
+            "num_bytes": self.num_bytes,
+            "errors": dict(self.errors),
+            "latency": self.latency.to_dict() if self.latency else None,
+            "batch": dict(self.batch),
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one run produced, in a JSON-serializable shape."""
+
+    config: ExperimentConfig
+    dataset_name: str
+    dataset_n: int
+    dataset_dim: int
+    query_dim: int
+    n_train: int
+    n_test: int
+    uniform_normalized_mae: float
+    estimators: list[EstimatorResult]
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "dataset": {
+                "name": self.dataset_name,
+                "n": self.dataset_n,
+                "dim": self.dataset_dim,
+            },
+            "workload": {
+                "query_dim": self.query_dim,
+                "n_train": self.n_train,
+                "n_test": self.n_test,
+            },
+            "uniform_normalized_mae": self.uniform_normalized_mae,
+            "estimators": [e.to_dict() for e in self.estimators],
+        }
+
+    def estimator(self, name: str) -> EstimatorResult:
+        for e in self.estimators:
+            if e.name == name:
+                return e
+        raise KeyError(f"no result for estimator {name!r}")
+
+
+def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
+    """Run one experiment end-to-end.
+
+    ``progress`` is an optional ``callable(str)`` for CLI status lines; the
+    runner itself never prints.
+    """
+    if config.fast:
+        config = config.fast_profile()
+    say = progress if progress is not None else (lambda msg: None)
+
+    say(f"loading dataset {config.dataset!r}")
+    ds = load_dataset(config.dataset, n=config.n_rows, seed=config.seed)
+    qf = QueryFunction.axis_range(ds, aggregate=config.aggregate)
+
+    say(f"sampling workload ({config.n_train} train / {config.n_test} test)")
+    workload = WorkloadGenerator(
+        qf,
+        seed=config.seed + 1,
+        n_active=config.n_active,
+        range_frac=config.range_frac,
+    )
+    Q_train, y_train, Q_test, y_test = train_test_queries(
+        workload, config.n_train, config.n_test
+    )
+
+    n_timing = min(config.n_timing_queries, Q_test.shape[0])
+    Q_timing = Q_test[:n_timing]
+
+    results: list[EstimatorResult] = []
+    for name in config.estimators:
+        estimator = build_estimator(
+            name,
+            seed=config.seed,
+            tree_height=config.tree_height,
+            n_partitions=config.n_partitions,
+            depth=config.depth,
+            width_first=config.width_first,
+            width_rest=config.width_rest,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            lr=config.lr,
+            sample_frac=config.sample_frac,
+        )
+        if not estimator.supports(qf):
+            say(f"skipping {name}: does not support {qf.aggregate.name}")
+            results.append(EstimatorResult(name=name, supported=False))
+            continue
+
+        say(f"fitting {name}")
+        _, build_s = timed(lambda: estimator.fit(qf, Q_train, y_train))
+
+        say(f"scoring {name}")
+        pred = np.asarray(estimator.predict(Q_test), dtype=np.float64).ravel()
+        errors = error_summary(pred, y_test)
+
+        say(f"timing {name} ({n_timing} queries)")
+        latency = time_per_query(
+            estimator.predict_one,
+            Q_timing,
+            warmup=config.timing_warmup,
+            repeats=config.timing_repeats,
+        )
+        batch = time_batch(estimator.predict, Q_test, repeats=config.timing_repeats)
+
+        results.append(
+            EstimatorResult(
+                name=name,
+                supported=True,
+                build_s=build_s,
+                num_bytes=int(estimator.num_bytes()),
+                errors=errors,
+                latency=latency,
+                batch=batch,
+            )
+        )
+
+    return ExperimentResult(
+        config=config,
+        dataset_name=ds.name,
+        dataset_n=ds.n,
+        dataset_dim=ds.dim,
+        query_dim=qf.dim,
+        n_train=Q_train.shape[0],
+        n_test=Q_test.shape[0],
+        uniform_normalized_mae=uniform_answer_error(y_train, y_test),
+        estimators=results,
+    )

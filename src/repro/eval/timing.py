@@ -1,0 +1,129 @@
+"""Timing harness: warmup + repeat wall-clock measurement.
+
+Two regimes matter for the paper's claims:
+
+- *Per-query latency* — one ``predict_one`` call per query, the metric
+  behind Fig. 6's query-time comparison. Measured with warmup calls first
+  (to absorb allocator / cache effects), then per-call ``perf_counter``
+  deltas, repeated ``repeats`` times per query with the minimum kept (the
+  usual "best of r" noise filter).
+- *Batched throughput* — one vectorized ``predict`` over the whole test set,
+  which is how a server would amortize dispatch overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of per-query latencies, in seconds."""
+
+    n_queries: int
+    mean_s: float
+    median_s: float
+    p95_s: float
+    min_s: float
+    max_s: float
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "n_queries": self.n_queries,
+            "mean_s": self.mean_s,
+            "median_s": self.median_s,
+            "p95_s": self.p95_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("no timing samples")
+        return cls(
+            n_queries=int(arr.size),
+            mean_s=float(arr.mean()),
+            median_s=float(np.median(arr)),
+            p95_s=float(np.percentile(arr, 95)),
+            min_s=float(arr.min()),
+            max_s=float(arr.max()),
+        )
+
+
+def timed(fn: Callable[[], object]) -> tuple[object, float]:
+    """Run ``fn`` once, returning ``(result, elapsed_seconds)``."""
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def time_per_query(
+    answer_one: Callable[[np.ndarray], float],
+    Q: np.ndarray,
+    warmup: int = 10,
+    repeats: int = 3,
+) -> LatencyStats:
+    """Per-query latency of a single-query answerer over a query set.
+
+    Parameters
+    ----------
+    answer_one:
+        Callable taking one query vector and returning a float.
+    Q:
+        ``(m, d)`` query vectors to time, one sample per query.
+    warmup:
+        Untimed calls made first (cycling through ``Q``).
+    repeats:
+        Timed calls per query; the minimum is kept as that query's sample.
+    """
+    Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+    if Q.shape[0] == 0:
+        raise ValueError("need at least one query to time")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+
+    for i in range(warmup):
+        answer_one(Q[i % Q.shape[0]])
+
+    samples = np.empty(Q.shape[0], dtype=np.float64)
+    for i, q in enumerate(Q):
+        best = np.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            answer_one(q)
+            best = min(best, time.perf_counter() - t0)
+        samples[i] = best
+    return LatencyStats.from_samples(samples)
+
+
+def time_batch(
+    answer: Callable[[np.ndarray], np.ndarray],
+    Q: np.ndarray,
+    warmup: int = 1,
+    repeats: int = 3,
+) -> dict[str, float]:
+    """Batched-call throughput: best-of-``repeats`` wall time for one batch.
+
+    Returns seconds for the batch plus derived queries/second.
+    """
+    Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+    if Q.shape[0] == 0:
+        raise ValueError("need at least one query to time")
+    for _ in range(warmup):
+        answer(Q)
+    best = np.inf
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        answer(Q)
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "batch_s": float(best),
+        "queries_per_s": float(Q.shape[0] / best) if best > 0 else float("inf"),
+        "n_queries": int(Q.shape[0]),
+    }

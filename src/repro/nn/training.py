@@ -8,7 +8,7 @@ that predicts in the original target units.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,141 @@
+"""CLI tests: the ``python -m repro`` surface."""
+
+import json
+
+from repro.cli import main
+
+
+def test_run_writes_bench_file(tmp_path, capsys):
+    rc = main(
+        [
+            "run",
+            "--dataset", "synthetic",
+            "--estimators", "neurosketch,exact,uniform",
+            "--fast",
+            "--n-rows", "600",
+            "--n-train", "150",
+            "--n-test", "40",
+            "--quiet",
+            "--out-dir", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    bench = tmp_path / "BENCH_synthetic.json"
+    assert bench.exists()
+    payload = json.loads(bench.read_text())
+    assert payload["config"]["fast"] is True
+    names = [e["name"] for e in payload["estimators"]]
+    assert names == ["neurosketch", "exact", "uniform"]
+    out = capsys.readouterr().out
+    assert "norm MAE" in out
+
+
+def test_dataset_aliases_share_one_bench_trajectory(tmp_path):
+    # synthetic/gmm/G5 are the same dataset; a spelling change must not fork
+    # the BENCH file future PRs diff against.
+    rc = main(
+        [
+            "run",
+            "--dataset", "gmm",
+            "--estimators", "uniform",
+            "--fast",
+            "--n-rows", "400",
+            "--n-train", "60",
+            "--n-test", "20",
+            "--quiet",
+            "--out-dir", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    assert (tmp_path / "BENCH_synthetic.json").exists()
+
+
+def test_run_no_bench_skips_file(tmp_path):
+    rc = main(
+        [
+            "run",
+            "--dataset", "synthetic",
+            "--estimators", "uniform",
+            "--fast",
+            "--n-rows", "400",
+            "--n-train", "60",
+            "--n-test", "20",
+            "--quiet",
+            "--no-bench",
+            "--out-dir", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    assert not list(tmp_path.glob("BENCH_*.json"))
+
+
+def test_compare_renders_table(tmp_path, capsys):
+    for name in ("a", "b"):
+        main(
+            [
+                "run",
+                "--dataset", "synthetic",
+                "--estimators", "uniform",
+                "--fast",
+                "--n-rows", "400",
+                "--n-train", "60",
+                "--n-test", "20",
+                "--quiet",
+                "--name", name,
+                "--out-dir", str(tmp_path),
+            ]
+        )
+    capsys.readouterr()
+    rc = main(
+        ["compare", str(tmp_path / "BENCH_a.json"), str(tmp_path / "BENCH_b.json")]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "a nMAE" in out and "b nMAE" in out
+    assert "uniform" in out
+
+
+def test_list_datasets_shows_aliases(capsys):
+    assert main(["list-datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "G5" in out and "synthetic" in out
+    assert "PM" in out and "pm25" in out
+
+
+def test_unknown_dataset_exits_with_clean_error(capsys):
+    rc = main(["run", "--dataset", "nope", "--fast", "--quiet", "--no-bench"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown dataset" in err and "synthetic" in err
+    assert "Traceback" not in err
+
+
+def test_unknown_estimator_exits_with_clean_error(capsys):
+    rc = main(["run", "--estimators", "neurosketh", "--fast", "--quiet", "--no-bench"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown estimator" in err and "neurosketch" in err
+
+
+def test_unknown_aggregate_exits_with_clean_error(capsys):
+    rc = main(["run", "--aggregate", "BOGUS", "--fast", "--quiet", "--no-bench"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown aggregate" in err
+    assert "Traceback" not in err
+
+
+def test_compare_missing_file_exits_with_clean_error(capsys):
+    rc = main(["compare", "/tmp/definitely-not-a-bench.json"])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_compare_malformed_bench_exits_with_clean_error(tmp_path, capsys):
+    bad = tmp_path / "BENCH_bad.json"
+    # A supported estimator entry with no 'errors' key.
+    bad.write_text(json.dumps({"estimators": [{"name": "x", "supported": True}]}))
+    rc = main(["compare", str(bad)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "schema" in err and "Traceback" not in err

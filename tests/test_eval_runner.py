@@ -1,0 +1,144 @@
+"""Smoke tests for the end-to-end experiment runner and BENCH reporting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.adapters import build_estimator, resolve_estimator_name
+from repro.eval.reporting import format_result_table, load_bench_json, write_bench_json
+from repro.eval.runner import ExperimentConfig, run_experiment
+from repro.eval.timing import LatencyStats, time_per_query
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    config = ExperimentConfig(
+        dataset="synthetic",
+        estimators=("neurosketch", "exact", "uniform"),
+        fast=True,
+        n_rows=800,
+        n_train=200,
+        n_test=60,
+        n_timing_queries=10,
+        timing_warmup=2,
+        timing_repeats=1,
+        seed=0,
+    )
+    return run_experiment(config)
+
+
+def test_runner_produces_result_per_estimator(tiny_result):
+    assert [e.name for e in tiny_result.estimators] == ["neurosketch", "exact", "uniform"]
+    for est in tiny_result.estimators:
+        assert est.supported
+        assert est.build_s is not None and est.build_s >= 0.0
+        assert est.num_bytes is not None and est.num_bytes > 0
+        assert est.latency is not None and est.latency.median_s > 0.0
+        assert np.isfinite(est.errors["normalized_mae"])
+
+
+def test_exact_estimator_has_zero_error(tiny_result):
+    assert tiny_result.estimator("exact").errors["normalized_mae"] == pytest.approx(0.0)
+
+
+def test_neurosketch_beats_uniform_baseline(tiny_result):
+    ns = tiny_result.estimator("neurosketch").errors["normalized_mae"]
+    assert ns < tiny_result.uniform_normalized_mae
+
+
+def test_uniform_estimator_matches_reference_metric(tiny_result):
+    est = tiny_result.estimator("uniform").errors["normalized_mae"]
+    assert est == pytest.approx(tiny_result.uniform_normalized_mae)
+
+
+def test_fast_profile_clamps_budget():
+    fast = ExperimentConfig(epochs=500, n_train=50_000, tree_height=9).fast_profile()
+    assert fast.epochs <= 5
+    assert fast.n_train <= 400
+    assert fast.tree_height <= 1
+    assert fast.fast
+
+
+def test_config_rejects_unknowns():
+    with pytest.raises(KeyError):
+        ExperimentConfig(dataset="nope")
+    with pytest.raises(KeyError):
+        ExperimentConfig(estimators=("martians",))
+    with pytest.raises(KeyError):
+        ExperimentConfig(aggregate="BOGUS")
+    with pytest.raises(ValueError):
+        ExperimentConfig(estimators=())
+    with pytest.raises(ValueError):
+        ExperimentConfig(n_rows=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(n_rows=-1)
+    with pytest.raises(ValueError):
+        ExperimentConfig(tree_height=-1)
+    with pytest.raises(ValueError):
+        ExperimentConfig(sample_frac=0.0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(epochs=0)
+
+
+def test_estimator_aliases_resolve():
+    assert resolve_estimator_name("NS") == "neurosketch"
+    assert resolve_estimator_name("tree_agg") == "tree-agg"
+    assert resolve_estimator_name("mean") == "uniform"
+
+
+def test_config_dedupes_estimator_aliases():
+    config = ExperimentConfig(estimators=("ns", "neurosketch", "uniform", "mean"))
+    assert config.estimators == ("neurosketch", "uniform")
+
+
+def test_rtree_estimator_is_exact_on_full_data(tiny_result):
+    # TREE-AGG with a 100% sample answers through the R-tree without error.
+    ds_config = ExperimentConfig(dataset="synthetic", n_rows=300)
+    from repro.data import load_dataset
+    from repro.queries import QueryFunction, WorkloadGenerator
+
+    ds = load_dataset(ds_config.dataset, n=300, seed=0)
+    qf = QueryFunction.axis_range(ds, aggregate="AVG")
+    Q = WorkloadGenerator(qf, seed=1).sample(25)
+    est = build_estimator("rtree", seed=0).fit(qf, Q, qf(Q))
+    np.testing.assert_allclose(est.predict(Q), qf(Q), rtol=1e-9, atol=1e-9)
+
+
+def test_bench_json_round_trip(tiny_result, tmp_path):
+    path = write_bench_json(tiny_result, "unit", tmp_path)
+    assert path.name == "BENCH_unit.json"
+    payload = load_bench_json(path)
+    assert payload["dataset"]["name"] == "G5"
+    names = [e["name"] for e in payload["estimators"]]
+    assert names == ["neurosketch", "exact", "uniform"]
+    ns = payload["estimators"][0]
+    assert {"normalized_mae", "rmse", "relative_error"} <= set(ns["errors"])
+    assert {"median_s", "p95_s"} <= set(ns["latency"])
+    assert ns["num_bytes"] > 0
+    assert ns["build_s"] >= 0.0
+
+
+def test_result_table_renders(tiny_result):
+    table = format_result_table(tiny_result)
+    assert "neurosketch" in table
+    assert "norm MAE" in table
+    assert "uniform-answer baseline" in table
+
+
+def test_latency_stats_from_samples():
+    stats = LatencyStats.from_samples([1.0, 2.0, 3.0, 4.0])
+    assert stats.median_s == pytest.approx(2.5)
+    assert stats.min_s == 1.0 and stats.max_s == 4.0
+    assert stats.n_queries == 4
+
+
+def test_time_per_query_counts_each_query():
+    calls = []
+
+    def answer_one(q):
+        calls.append(1)
+        return 0.0
+
+    Q = np.zeros((5, 2))
+    stats = time_per_query(answer_one, Q, warmup=3, repeats=2)
+    assert stats.n_queries == 5
+    assert len(calls) == 3 + 5 * 2

@@ -1,0 +1,59 @@
+"""Exact-executor tests: the vectorized engine must match a naive loop."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.queries import QueryFunction, WorkloadGenerator
+from repro.queries.aggregates import get_aggregate
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    raw = rng.uniform(0.0, 10.0, size=(500, 3))
+    ds = Dataset(raw, ["a", "b", "m"], measure="m", name="toy")
+    qf = QueryFunction.axis_range(ds, aggregate="AVG")
+    Q = WorkloadGenerator(qf, seed=1).sample(40)
+    return ds, qf, Q
+
+
+def _naive(ds, qf, Q, agg_name):
+    """Reference implementation: per-query boolean mask over the rows."""
+    agg = get_aggregate(agg_name)
+    lo, hi = qf.predicate.batch_bounds(Q)
+    out = []
+    for k in range(Q.shape[0]):
+        mask = np.all((ds.X >= lo[k]) & (ds.X < hi[k]), axis=1)
+        out.append(agg(ds.column("m")[mask]))
+    return np.array(out)
+
+
+@pytest.mark.parametrize("agg", ["COUNT", "SUM", "AVG", "STD", "MEDIAN"])
+def test_vectorized_matches_naive_loop(setup, agg):
+    ds, qf, Q = setup
+    got = qf.with_aggregate(agg)(Q)
+    np.testing.assert_allclose(got, _naive(ds, qf, Q, agg), rtol=1e-10, atol=1e-10)
+
+
+def test_empty_range_answers_zero(setup):
+    ds, qf, _ = setup
+    # A box outside the data domain matches nothing.
+    q = np.array([0.999, 0.999, 0.999, 0.0005, 0.0005, 0.0005])
+    for agg in ("COUNT", "SUM", "AVG", "MEDIAN"):
+        assert qf.with_aggregate(agg).answer_one(q) == 0.0
+
+
+def test_avg_equals_sum_over_count(setup):
+    ds, qf, Q = setup
+    counts = qf.with_aggregate("COUNT")(Q)
+    sums = qf.with_aggregate("SUM")(Q)
+    avgs = qf.with_aggregate("AVG")(Q)
+    nonempty = counts > 0
+    np.testing.assert_allclose(avgs[nonempty], sums[nonempty] / counts[nonempty])
+
+
+def test_selectivity_in_unit_interval(setup):
+    _, qf, Q = setup
+    sel = qf.selectivity(Q)
+    assert np.all(sel >= 0.0) and np.all(sel <= 1.0)

@@ -1,0 +1,68 @@
+"""Unit tests for the query-space kd-tree (Alg. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kdtree import QueryKDTree
+
+
+@pytest.fixture()
+def queries():
+    rng = np.random.default_rng(0)
+    return rng.uniform(0.0, 1.0, size=(256, 3))
+
+
+def test_build_creates_2_pow_h_leaves(queries):
+    tree = QueryKDTree(queries, height=3)
+    assert tree.n_leaves == 8
+    # Median splits keep leaf populations balanced.
+    sizes = [len(leaf.indices) for leaf in tree.leaves()]
+    assert sum(sizes) == queries.shape[0]
+    assert max(sizes) - min(sizes) <= 8
+
+
+def test_height_zero_is_single_leaf(queries):
+    tree = QueryKDTree(queries, height=0)
+    assert tree.n_leaves == 1
+    assert tree.n_internal == 0
+    assert tree.route(queries[0]).leaf_id == 0
+
+
+def test_route_is_consistent_with_build_partition(queries):
+    tree = QueryKDTree(queries, height=4)
+    for i, q in enumerate(queries):
+        leaf = tree.route(q)
+        assert i in set(leaf.indices.tolist())
+
+
+def test_route_batch_agrees_with_single_route(queries):
+    tree = QueryKDTree(queries, height=3)
+    batch_ids = tree.route_batch(queries)
+    single_ids = np.array([tree.route(q).leaf_id for q in queries])
+    np.testing.assert_array_equal(batch_ids, single_ids)
+
+
+def test_n_internal_counts_structure(queries):
+    tree = QueryKDTree(queries, height=3)
+    # Every node has 0 or 2 children, so internal = leaves - 1 here; the
+    # property must agree with that count because it traverses the tree.
+    assert tree.n_internal == tree.n_leaves - 1 == 7
+
+
+def test_serialization_round_trip_preserves_routing(queries):
+    tree = QueryKDTree(queries, height=3)
+    clone = QueryKDTree.from_dict(tree.to_dict())
+    np.testing.assert_array_equal(tree.route_batch(queries), clone.route_batch(queries))
+    assert clone.n_leaves == tree.n_leaves
+    assert clone.n_internal == tree.n_internal
+
+
+def test_empty_query_set_rejected():
+    with pytest.raises(ValueError):
+        QueryKDTree(np.empty((0, 2)), height=2)
+
+
+def test_degenerate_duplicates_stop_splitting():
+    Q = np.zeros((16, 2))  # all-identical queries cannot be median-split
+    tree = QueryKDTree(Q, height=3)
+    assert tree.n_leaves == 1

@@ -1,0 +1,57 @@
+"""Unit tests for AQC-based leaf merging (Alg. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kdtree import QueryKDTree
+from repro.core.merging import merge_leaves
+
+
+def _tree_and_labels(m=256, d=2, height=4, seed=0):
+    rng = np.random.default_rng(seed)
+    Q = rng.uniform(0.0, 1.0, size=(m, d))
+    # A query function that is hard in one half of the space and flat in the
+    # other, so AQC ranking has something real to rank.
+    y = np.where(Q[:, 0] > 0.5, np.sin(12.0 * Q[:, 0]) * Q[:, 1], 0.05)
+    return QueryKDTree(Q, height), y
+
+
+def test_merge_reaches_target_leaf_count():
+    tree, y = _tree_and_labels()
+    assert tree.n_leaves == 16
+    merge_leaves(tree, y, s=6, rng=np.random.default_rng(1))
+    assert tree.n_leaves == 6
+
+
+def test_merge_is_noop_when_already_small():
+    tree, y = _tree_and_labels(height=2)
+    merge_leaves(tree, y, s=8, rng=np.random.default_rng(1))
+    assert tree.n_leaves == 4
+
+
+def test_merge_preserves_query_coverage():
+    tree, y = _tree_and_labels()
+    merge_leaves(tree, y, s=5, rng=np.random.default_rng(1))
+    covered = np.concatenate([leaf.indices for leaf in tree.leaves()])
+    assert sorted(covered.tolist()) == list(range(tree.Q.shape[0]))
+
+
+def test_merge_relabels_leaves_contiguously():
+    tree, y = _tree_and_labels()
+    merge_leaves(tree, y, s=7, rng=np.random.default_rng(1))
+    ids = sorted(leaf.leaf_id for leaf in tree.leaves())
+    assert ids == list(range(7))
+
+
+def test_merge_keeps_internal_count_consistent():
+    tree, y = _tree_and_labels()
+    before = tree.n_internal
+    merge_leaves(tree, y, s=4, rng=np.random.default_rng(1))
+    assert tree.n_internal < before
+    assert tree.n_internal == tree.n_leaves - 1  # tree stays full binary
+
+
+def test_merge_rejects_bad_target():
+    tree, y = _tree_and_labels(height=2)
+    with pytest.raises(ValueError):
+        merge_leaves(tree, y, s=0)

@@ -1,0 +1,74 @@
+"""Unit tests for the Section-5.1 accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    error_summary,
+    mae,
+    normalized_mae,
+    relative_error,
+    rmse,
+    uniform_answer_error,
+)
+
+
+def test_perfect_predictions_score_zero():
+    y = np.array([1.0, -2.0, 3.0])
+    assert mae(y, y) == 0.0
+    assert rmse(y, y) == 0.0
+    assert normalized_mae(y, y) == 0.0
+    assert relative_error(y, y) == 0.0
+
+
+def test_mae_and_rmse_known_values():
+    pred = np.array([1.0, 2.0, 3.0])
+    true = np.array([1.0, 0.0, 3.0])
+    assert mae(pred, true) == pytest.approx(2.0 / 3.0)
+    assert rmse(pred, true) == pytest.approx(np.sqrt(4.0 / 3.0))
+
+
+def test_normalized_mae_is_scale_invariant():
+    rng = np.random.default_rng(0)
+    true = rng.uniform(1.0, 2.0, size=100)
+    pred = true + rng.normal(scale=0.1, size=100)
+    base = normalized_mae(pred, true)
+    scaled = normalized_mae(1000.0 * pred, 1000.0 * true)
+    assert scaled == pytest.approx(base)
+
+
+def test_normalized_mae_all_zero_truth_falls_back_to_mae():
+    pred = np.array([0.5, -0.5])
+    true = np.zeros(2)
+    assert normalized_mae(pred, true) == pytest.approx(0.5)
+
+
+def test_relative_error_floor_prevents_blowup():
+    pred = np.array([1.0, 10.0])
+    true = np.array([0.0, 10.0])  # first answer is zero
+    assert np.isfinite(relative_error(pred, true))
+    assert relative_error(pred, true, floor=1.0) == pytest.approx(0.5)
+
+
+def test_uniform_answer_error_matches_manual():
+    y_train = np.array([1.0, 3.0])  # mean 2.0
+    y_test = np.array([2.0, 4.0])
+    # errors |2-2|, |2-4| -> mean 1.0; mean |truth| = 3.0
+    assert uniform_answer_error(y_train, y_test) == pytest.approx(1.0 / 3.0)
+
+
+def test_error_summary_has_all_metrics():
+    pred = np.array([1.0, 2.0])
+    true = np.array([1.5, 2.5])
+    summary = error_summary(pred, true)
+    assert set(summary) == {
+        "mae", "rmse", "normalized_mae", "relative_error", "median_relative_error",
+    }
+    assert all(np.isfinite(v) for v in summary.values())
+
+
+def test_shape_mismatch_and_empty_rejected():
+    with pytest.raises(ValueError):
+        mae(np.zeros(3), np.zeros(4))
+    with pytest.raises(ValueError):
+        rmse(np.zeros(0), np.zeros(0))

@@ -1,0 +1,90 @@
+"""End-to-end tests for the NeuroSketch estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.neurosketch import NeuroSketch
+from repro.data import load_dataset
+from repro.nn.training import TrainConfig
+from repro.queries import QueryFunction, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    ds = load_dataset("synthetic", n=1_000, seed=0)
+    qf = QueryFunction.axis_range(ds, aggregate="AVG")
+    wl = WorkloadGenerator(qf, seed=1)
+    Q, y = wl.labelled_sample(300)
+    sketch = NeuroSketch(
+        tree_height=2,
+        n_partitions=None,
+        depth=3,
+        width_first=16,
+        width_rest=8,
+        train_config=TrainConfig(epochs=8, batch_size=32, lr=1e-2, seed=2),
+        seed=2,
+    )
+    sketch.fit(qf, Q, y)
+    return sketch, qf, Q, y
+
+
+def test_fit_trains_one_model_per_leaf(fitted):
+    sketch, _, _, _ = fitted
+    assert sketch.tree.n_leaves == 4
+    assert set(sketch.models) == {leaf.leaf_id for leaf in sketch.tree.leaves()}
+
+
+def test_predict_shape_and_predict_one_agreement(fitted):
+    sketch, qf, Q, _ = fitted
+    batch = sketch.predict(Q[:20])
+    assert batch.shape == (20,)
+    singles = np.array([sketch.predict_one(q) for q in Q[:20]])
+    np.testing.assert_allclose(batch, singles)
+
+
+def test_save_load_round_trip(tmp_path, fitted):
+    sketch, _, Q, _ = fitted
+    path = str(tmp_path / "sketch.json.gz")
+    sketch.save(path)
+    clone = NeuroSketch.load(path)
+    np.testing.assert_allclose(clone.predict(Q[:50]), sketch.predict(Q[:50]))
+    assert clone.num_bytes() == sketch.num_bytes()
+
+
+def test_num_bytes_counts_actual_internal_nodes(fitted):
+    sketch, _, _, _ = fitted
+    model_bytes = sum(m.regressor.num_bytes() for m in sketch.models.values())
+    assert sketch.num_bytes() == model_bytes + 16 * sketch.tree.n_internal
+
+
+def test_num_bytes_consistent_after_merging():
+    ds = load_dataset("synthetic", n=600, seed=3)
+    qf = QueryFunction.axis_range(ds, aggregate="AVG")
+    wl = WorkloadGenerator(qf, seed=4)
+    Q, y = wl.labelled_sample(200)
+    sketch = NeuroSketch(
+        tree_height=3,
+        n_partitions=3,
+        depth=2,
+        width_first=8,
+        width_rest=4,
+        train_config=TrainConfig(epochs=2, batch_size=32, seed=5),
+        seed=5,
+    )
+    sketch.fit(qf, Q, y)
+    assert sketch.tree.n_leaves == 3
+    model_bytes = sum(m.regressor.num_bytes() for m in sketch.models.values())
+    assert sketch.num_bytes() == model_bytes + 16 * sketch.tree.n_internal
+
+
+def test_unfitted_sketch_raises():
+    sketch = NeuroSketch()
+    with pytest.raises(RuntimeError):
+        sketch.predict(np.zeros((1, 4)))
+    with pytest.raises(RuntimeError):
+        sketch.num_bytes()
+
+
+def test_fit_requires_labels_or_query_function():
+    with pytest.raises(ValueError):
+        NeuroSketch(tree_height=0).fit(None, np.zeros((10, 2)), None)
