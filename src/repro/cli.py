@@ -68,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="NeuroSketch leaf target s after merging (0 disables merging)")
     run.add_argument("--sample-frac", type=float, default=0.1,
                      help="sample fraction for tree-agg / verdictdb")
+    run.add_argument("--no-compile", action="store_true",
+                     help="serve NeuroSketch through the object path instead of "
+                          "the compiled packed-array engine (escape hatch)")
     run.add_argument("--fast", action="store_true",
                      help="CI smoke profile: tiny workload, epochs <= 5")
     run.add_argument("--name", default=None,
@@ -120,6 +123,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             n_partitions=None if args.partitions == 0 else args.partitions,
             epochs=args.epochs,
             sample_frac=args.sample_frac,
+            compile=not args.no_compile,
             fast=args.fast,
         )
         name = args.name if args.name else _default_bench_name(args.dataset)

@@ -9,6 +9,7 @@ answer a query by routing it down the kd-tree and running one forward pass
 """
 
 from repro.core.kdtree import KDNode, QueryKDTree
+from repro.core.compiled import CompiledSketch, FlatTree
 from repro.core.complexity import average_query_change, leaf_aqcs, normalized_aqc_std
 from repro.core.merging import merge_leaves
 from repro.core.neurosketch import NeuroSketch
@@ -17,6 +18,8 @@ from repro.core.search import ArchitectureSearch, SearchResult
 __all__ = [
     "KDNode",
     "QueryKDTree",
+    "CompiledSketch",
+    "FlatTree",
     "average_query_change",
     "leaf_aqcs",
     "normalized_aqc_std",

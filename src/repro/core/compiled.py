@@ -1,0 +1,593 @@
+"""Compiled inference engine: flat kd-tree + stacked per-leaf MLPs.
+
+The fitted :class:`~repro.core.neurosketch.NeuroSketch` answers queries by
+walking a linked :class:`~repro.core.kdtree.KDNode` tree and dispatching to a
+dict of per-leaf :class:`~repro.nn.network.MLP` objects — correct, but the
+latency it exhibits under the benchmark harness is mostly Python dispatch,
+not model compute. This module "compiles" a fitted sketch into a form a
+server would actually run:
+
+- :class:`FlatTree` — the kd-tree flattened into struct-of-arrays form
+  (``split_dim``, ``split_val``, ``left``, ``right``, ``leaf_id`` integer
+  arrays) with an iterative, fully vectorized :meth:`FlatTree.route_batch`
+  (one numpy step per tree *level*, never per query) and a scalar
+  :meth:`FlatTree.route_one` that walks plain Python lists.
+- :class:`CompiledSketch` — per-leaf MLP weights stacked into 3-D tensors,
+  one ``(n_leaves, fan_in, fan_out)`` tensor per layer per architecture
+  group, so :meth:`CompiledSketch.predict` pads each leaf's queries to a
+  common block and runs one grouped batched matmul per layer, and
+  :meth:`CompiledSketch.predict_one` runs a single forward pass through
+  preallocated buffers.
+
+The compiled path computes the *same* float64 operations as the object path
+(scalers are applied elementwise, not folded into the weights), so its
+answers agree with the reference path to BLAS rounding — the parity suite
+(``tests/test_compiled.py``) asserts agreement to 1e-12.
+
+``predict_one`` reuses preallocated scratch buffers and is therefore not
+re-entrant; use one :class:`CompiledSketch` per thread.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import numpy as np
+
+from repro.nn.network import BYTES_PER_PARAM, MLP
+
+
+class FlatTree:
+    """A kd-tree in struct-of-arrays form (preorder node layout).
+
+    Node ``i`` is internal iff ``split_dim[i] >= 0``; then ``split_val[i]``
+    is its threshold and ``left[i]``/``right[i]`` index its children.
+    Leaves carry their ``leaf_id`` (contiguous, left-to-right); both id
+    arrays hold ``-1`` where they do not apply. Routing uses ``<=`` on the
+    split value, exactly like :meth:`repro.core.kdtree.QueryKDTree.route`.
+    """
+
+    __slots__ = (
+        "split_dim",
+        "split_val",
+        "left",
+        "right",
+        "leaf_id",
+        "n_leaves",
+        "_sd",
+        "_sv",
+        "_lc",
+        "_rc",
+        "_lid",
+    )
+
+    def __init__(
+        self,
+        split_dim: np.ndarray,
+        split_val: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        leaf_id: np.ndarray,
+    ) -> None:
+        self.split_dim = np.asarray(split_dim, dtype=np.int64)
+        self.split_val = np.asarray(split_val, dtype=np.float64)
+        self.left = np.asarray(left, dtype=np.int64)
+        self.right = np.asarray(right, dtype=np.int64)
+        self.leaf_id = np.asarray(leaf_id, dtype=np.int64)
+        n = self.split_dim.shape[0]
+        if n == 0:
+            raise ValueError("a flat tree needs at least one node")
+        for name in ("split_val", "left", "right", "leaf_id"):
+            if getattr(self, name).shape != (n,):
+                raise ValueError(f"{name} must have the same length as split_dim")
+        self.n_leaves = int((self.leaf_id >= 0).sum())
+        self._validate_structure()
+        # Plain-list mirrors: scalar routing over Python lists avoids the
+        # per-element numpy indexing overhead on the hot predict_one path.
+        self._sd = self.split_dim.tolist()
+        self._sv = self.split_val.tolist()
+        self._lc = self.left.tolist()
+        self._rc = self.right.tolist()
+        self._lid = self.leaf_id.tolist()
+
+    def _validate_structure(self) -> None:
+        """Reject payloads that could make routing loop, crash or mislabel.
+
+        The preorder layout implies every child index points strictly
+        forward; enforcing that (plus range and leaf-labelling checks) turns
+        a corrupt or hand-edited serialized tree into a clear ``ValueError``
+        instead of an infinite routing loop or a bare ``IndexError``.
+        """
+        n = self.split_dim.shape[0]
+        is_leaf = self.split_dim < 0
+        internal = np.flatnonzero(~is_leaf)
+        for name, child in (("left", self.left), ("right", self.right)):
+            kids = child[internal]
+            if np.any(kids <= internal) or np.any(kids >= n):
+                raise ValueError(
+                    f"{name} child indices must point strictly forward within "
+                    "the node arrays (preorder layout)"
+                )
+            if np.any(child[is_leaf] != -1):
+                raise ValueError(f"leaf nodes must have {name} == -1")
+        if not np.array_equal(self.leaf_id >= 0, is_leaf):
+            raise ValueError("leaf_id must be set exactly on leaf nodes")
+        lids = np.sort(self.leaf_id[is_leaf])
+        if not np.array_equal(lids, np.arange(lids.size)):
+            raise ValueError("leaf ids must be a permutation of 0..n_leaves-1")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.split_dim.shape[0]
+
+    @property
+    def n_internal(self) -> int:
+        return self.n_nodes - self.n_leaves
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def from_tree(cls, tree) -> "FlatTree":
+        """Flatten a :class:`~repro.core.kdtree.QueryKDTree` (preorder)."""
+        split_dim: list[int] = []
+        split_val: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        leaf_id: list[int] = []
+        stack = [(tree.root, -1, False)]
+        while stack:
+            node, parent, is_right = stack.pop()
+            idx = len(split_dim)
+            if parent >= 0:
+                (right if is_right else left)[parent] = idx
+            if node.is_leaf:
+                if node.leaf_id is None:
+                    raise ValueError("tree leaves must be labelled (relabel_leaves)")
+                split_dim.append(-1)
+                split_val.append(0.0)
+                left.append(-1)
+                right.append(-1)
+                leaf_id.append(int(node.leaf_id))
+            else:
+                split_dim.append(int(node.dim))
+                split_val.append(float(node.val))
+                left.append(-1)
+                right.append(-1)
+                leaf_id.append(-1)
+                stack.append((node.right, idx, True))
+                stack.append((node.left, idx, False))
+        return cls(
+            np.asarray(split_dim),
+            np.asarray(split_val),
+            np.asarray(left),
+            np.asarray(right),
+            np.asarray(leaf_id),
+        )
+
+    # ---------------------------------------------------------------- routing
+
+    def route_batch(self, Q: np.ndarray) -> np.ndarray:
+        """Leaf ids for ``(m, d)`` queries; one vectorized step per level."""
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        node = np.zeros(Q.shape[0], dtype=np.int64)
+        active = np.flatnonzero(self.split_dim[node] >= 0)
+        while active.size:
+            cur = node[active]
+            go_left = Q[active, self.split_dim[cur]] <= self.split_val[cur]
+            nxt = np.where(go_left, self.left[cur], self.right[cur])
+            node[active] = nxt
+            active = active[self.split_dim[nxt] >= 0]
+        return self.leaf_id[node]
+
+    def route_one(self, q: np.ndarray) -> int:
+        """Leaf id for a single query (scalar walk over Python lists)."""
+        sd, sv, lc, rc = self._sd, self._sv, self._lc, self._rc
+        node = 0
+        d = sd[node]
+        while d >= 0:
+            node = lc[node] if q[d] <= sv[node] else rc[node]
+            d = sd[node]
+        return self._lid[node]
+
+    # ------------------------------------------------------------ persistence
+
+    def to_dict(self) -> dict:
+        return {
+            "split_dim": self._sd,
+            "split_val": self._sv,
+            "left": self._lc,
+            "right": self._rc,
+            "leaf_id": self._lid,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "FlatTree":
+        return cls(
+            np.asarray(state["split_dim"]),
+            np.asarray(state["split_val"]),
+            np.asarray(state["left"]),
+            np.asarray(state["right"]),
+            np.asarray(state["leaf_id"]),
+        )
+
+
+class _LeafGroup:
+    """Leaves sharing one MLP architecture, weights stacked per layer.
+
+    ``W[l]`` has shape ``(g, fan_in, fan_out)`` and ``b[l]`` shape
+    ``(g, fan_out)`` where ``g`` is the number of leaves in the group;
+    scaler statistics are stacked alongside (identity statistics stand in
+    for absent scalers, which reproduces the unscaled path bit-for-bit).
+    """
+
+    __slots__ = (
+        "layer_sizes",
+        "leaf_ids",
+        "W",
+        "b",
+        "x_mean",
+        "x_scale",
+        "y_mean",
+        "y_scale",
+        "_y_mean_list",
+        "_y_scale_list",
+        "_one_bufs",
+        "_x_buf",
+    )
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        leaf_ids: list[int],
+        W: list[np.ndarray],
+        b: list[np.ndarray],
+        x_mean: np.ndarray,
+        x_scale: np.ndarray,
+        y_mean: np.ndarray,
+        y_scale: np.ndarray,
+    ) -> None:
+        self.layer_sizes = list(layer_sizes)
+        self.leaf_ids = list(leaf_ids)
+        self.W = [np.ascontiguousarray(w, dtype=np.float64) for w in W]
+        self.b = [np.ascontiguousarray(x, dtype=np.float64) for x in b]
+        self.x_mean = np.asarray(x_mean, dtype=np.float64)
+        self.x_scale = np.asarray(x_scale, dtype=np.float64)
+        self.y_mean = np.asarray(y_mean, dtype=np.float64)
+        self.y_scale = np.asarray(y_scale, dtype=np.float64)
+        g = len(self.leaf_ids)
+        for li, (w, bias) in enumerate(zip(self.W, self.b)):
+            expect_w = (g, self.layer_sizes[li], self.layer_sizes[li + 1])
+            if w.shape != expect_w or bias.shape != expect_w[::2]:
+                raise ValueError(
+                    f"layer {li}: W{w.shape}/b{bias.shape} do not match "
+                    f"architecture {self.layer_sizes} for {g} leaves"
+                )
+        if self.x_mean.shape != (g, self.layer_sizes[0]) or self.x_scale.shape != self.x_mean.shape:
+            raise ValueError(
+                f"x scaler stats must have shape ({g}, {self.layer_sizes[0]}), "
+                f"got {self.x_mean.shape}/{self.x_scale.shape}"
+            )
+        if self.y_mean.shape != (g,) or self.y_scale.shape != (g,):
+            raise ValueError(
+                f"y scaler stats must have shape ({g},), got "
+                f"{self.y_mean.shape}/{self.y_scale.shape}"
+            )
+        # Scalar-path scratch: one buffer per layer, reused across calls.
+        self._y_mean_list = self.y_mean.tolist()
+        self._y_scale_list = self.y_scale.tolist()
+        self._one_bufs = [np.empty(w.shape[2]) for w in self.W]
+        self._x_buf = np.empty(self.layer_sizes[0])
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaf_ids)
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.W)
+
+    def num_params(self) -> int:
+        return int(sum(w[0].size + bias[0].size for w, bias in zip(self.W, self.b))) * len(
+            self.leaf_ids
+        )
+
+    # ---------------------------------------------------------------- forward
+
+    def forward_batch(self, Q: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        """Answers for queries ``Q`` where ``slots[i]`` is each query's
+        within-group leaf slot. One batched matmul per layer: queries are
+        padded per leaf to a common block length, so the whole group runs
+        as ``(g_used, block, fan_in) @ (g_used, fan_in, fan_out)``.
+        """
+        m = Q.shape[0]
+        out = np.empty(m, dtype=np.float64)
+        if m == 0:
+            return out
+        order = np.argsort(slots, kind="stable")
+        sorted_slots = slots[order]
+        counts = np.bincount(sorted_slots, minlength=self.n_leaves)
+        used = np.flatnonzero(counts)
+        used_counts = counts[used]
+        block = int(used_counts.max())
+        # Padding cost is n_used * block cells; on a balanced kd-tree that is
+        # ~m, but a skewed batch (one hot leaf plus stragglers) can inflate
+        # it by a factor of n_used. Fall back to a per-leaf loop — still one
+        # gemm per layer per leaf, never per query — when padding would
+        # waste more than ~4x the dense size.
+        if used.size * block > 4 * m + 1024:
+            starts = np.concatenate(([0], np.cumsum(used_counts)))
+            last = self.n_layers - 1
+            for k, slot in enumerate(used):
+                rows = order[starts[k] : starts[k + 1]]
+                H = (Q[rows] - self.x_mean[slot]) / self.x_scale[slot]
+                for li in range(self.n_layers):
+                    H = H @ self.W[li][slot] + self.b[li][slot]
+                    if li != last:
+                        np.maximum(H, 0.0, out=H)
+                out[rows] = H[:, 0] * self.y_scale[slot] + self.y_mean[slot]
+            return out
+        row = np.repeat(np.arange(used.size), used_counts)
+        starts = np.concatenate(([0], np.cumsum(used_counts[:-1])))
+        col = np.arange(m) - np.repeat(starts, used_counts)
+
+        X = np.zeros((used.size, block, Q.shape[1]), dtype=np.float64)
+        X[row, col] = Q[order]
+        X -= self.x_mean[used, None, :]
+        X /= self.x_scale[used, None, :]
+
+        H = X
+        last = self.n_layers - 1
+        for li in range(self.n_layers):
+            H = np.matmul(H, self.W[li][used])
+            H += self.b[li][used, None, :]
+            if li != last:
+                np.maximum(H, 0.0, out=H)
+        out[order] = H[row, col, 0] * self.y_scale[sorted_slots] + self.y_mean[sorted_slots]
+        return out
+
+    def forward_one(self, q: np.ndarray, slot: int) -> float:
+        """Single forward pass through the preallocated buffers."""
+        x = self._x_buf
+        np.subtract(q, self.x_mean[slot], out=x)
+        np.divide(x, self.x_scale[slot], out=x)
+        h = x
+        last = self.n_layers - 1
+        for li in range(self.n_layers):
+            buf = self._one_bufs[li]
+            np.matmul(h, self.W[li][slot], out=buf)
+            buf += self.b[li][slot]
+            if li != last:
+                np.maximum(buf, 0.0, out=buf)
+            h = buf
+        return float(h[0]) * self._y_scale_list[slot] + self._y_mean_list[slot]
+
+    # ------------------------------------------------------------ persistence
+
+    def to_dict(self) -> dict:
+        return {
+            "layer_sizes": self.layer_sizes,
+            "leaf_ids": self.leaf_ids,
+            "W": [w.tolist() for w in self.W],
+            "b": [bias.tolist() for bias in self.b],
+            "x_mean": self.x_mean.tolist(),
+            "x_scale": self.x_scale.tolist(),
+            "y_mean": self.y_mean.tolist(),
+            "y_scale": self.y_scale.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "_LeafGroup":
+        return cls(
+            state["layer_sizes"],
+            state["leaf_ids"],
+            [np.asarray(w) for w in state["W"]],
+            [np.asarray(bias) for bias in state["b"]],
+            np.asarray(state["x_mean"]),
+            np.asarray(state["x_scale"]),
+            np.asarray(state["y_mean"]),
+            np.asarray(state["y_scale"]),
+        )
+
+
+class CompiledSketch:
+    """A fitted NeuroSketch flattened for fast inference.
+
+    Build one with :meth:`from_sketch` (or ``NeuroSketch.compile()``); it
+    holds no references to the source sketch and serializes independently
+    (:meth:`to_dict`/:meth:`from_dict`, :meth:`save`/:meth:`load`), so
+    persisted sketches load straight into the fast path.
+    """
+
+    def __init__(
+        self,
+        tree: FlatTree,
+        groups: list[_LeafGroup],
+        leaf_group: np.ndarray,
+        leaf_slot: np.ndarray,
+        input_dim: int,
+    ) -> None:
+        self.tree = tree
+        self.groups = list(groups)
+        self.leaf_group = np.asarray(leaf_group, dtype=np.int64)
+        self.leaf_slot = np.asarray(leaf_slot, dtype=np.int64)
+        self.input_dim = int(input_dim)
+        if self.leaf_group.shape != (tree.n_leaves,) or self.leaf_slot.shape != (tree.n_leaves,):
+            raise ValueError("leaf_group/leaf_slot must have one entry per tree leaf")
+        for lid in range(tree.n_leaves):
+            g, s = int(self.leaf_group[lid]), int(self.leaf_slot[lid])
+            if not (0 <= g < len(self.groups)) or not (0 <= s < self.groups[g].n_leaves):
+                raise ValueError(f"leaf {lid} maps to missing group slot ({g}, {s})")
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def from_sketch(cls, sketch) -> "CompiledSketch":
+        """Compile a fitted :class:`~repro.core.neurosketch.NeuroSketch`."""
+        if sketch.tree is None or not sketch.models:
+            raise RuntimeError("cannot compile an unfitted NeuroSketch")
+        tree = FlatTree.from_tree(sketch.tree)
+        n_leaves = tree.n_leaves
+        if set(sketch.models) != set(range(n_leaves)):
+            raise ValueError(
+                f"models cover leaf ids {sorted(sketch.models)} but the tree "
+                f"has leaves 0..{n_leaves - 1}"
+            )
+        input_dim = int(sketch.input_dim)
+
+        group_index: dict[tuple[int, ...], int] = {}
+        buckets: list[dict] = []
+        leaf_group = np.empty(n_leaves, dtype=np.int64)
+        leaf_slot = np.empty(n_leaves, dtype=np.int64)
+        for lid in range(n_leaves):
+            regressor = sketch.models[lid].regressor
+            model = regressor.model
+            if not isinstance(model, MLP):
+                raise TypeError(
+                    "compiled inference supports MLP leaf models; leaf "
+                    f"{lid} holds {type(model).__name__}"
+                )
+            dense = model.dense_layers
+            signature = tuple(model.layer_sizes)
+            if signature[0] != input_dim:
+                raise ValueError(
+                    f"leaf {lid} expects input dim {signature[0]}, sketch has {input_dim}"
+                )
+            g = group_index.setdefault(signature, len(buckets))
+            if g == len(buckets):
+                buckets.append(
+                    {"signature": signature, "leaf_ids": [], "dense": [], "regs": []}
+                )
+            bucket = buckets[g]
+            leaf_group[lid] = g
+            leaf_slot[lid] = len(bucket["leaf_ids"])
+            bucket["leaf_ids"].append(lid)
+            bucket["dense"].append(dense)
+            bucket["regs"].append(regressor)
+
+        groups: list[_LeafGroup] = []
+        for bucket in buckets:
+            signature = bucket["signature"]
+            n_layers = len(signature) - 1
+            W = [
+                np.stack([dense[li].W for dense in bucket["dense"]])
+                for li in range(n_layers)
+            ]
+            b = [
+                np.stack([dense[li].b for dense in bucket["dense"]])
+                for li in range(n_layers)
+            ]
+            x_mean = np.stack(
+                [
+                    r.x_scaler.mean_ if r.x_scaler is not None else np.zeros(input_dim)
+                    for r in bucket["regs"]
+                ]
+            )
+            x_scale = np.stack(
+                [
+                    r.x_scaler.scale_ if r.x_scaler is not None else np.ones(input_dim)
+                    for r in bucket["regs"]
+                ]
+            )
+            y_mean = np.array(
+                [
+                    float(r.y_scaler.mean_) if r.y_scaler is not None else 0.0
+                    for r in bucket["regs"]
+                ]
+            )
+            y_scale = np.array(
+                [
+                    float(r.y_scaler.scale_) if r.y_scaler is not None else 1.0
+                    for r in bucket["regs"]
+                ]
+            )
+            groups.append(
+                _LeafGroup(list(signature), bucket["leaf_ids"], W, b, x_mean, x_scale, y_mean, y_scale)
+            )
+        return cls(tree, groups, leaf_group, leaf_slot, input_dim)
+
+    # --------------------------------------------------------------- predict
+
+    def predict(self, Q: np.ndarray) -> np.ndarray:
+        """Answers for a batch of queries, shape ``(m,)``."""
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        if Q.shape[1] != self.input_dim:
+            raise ValueError(f"expected queries of dim {self.input_dim}, got {Q.shape[1]}")
+        m = Q.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.float64)
+        leaves = self.tree.route_batch(Q)
+        if len(self.groups) == 1:
+            return self.groups[0].forward_batch(Q, self.leaf_slot[leaves])
+        out = np.empty(m, dtype=np.float64)
+        gid = self.leaf_group[leaves]
+        for g, group in enumerate(self.groups):
+            sel = np.flatnonzero(gid == g)
+            if sel.size:
+                out[sel] = group.forward_batch(Q[sel], self.leaf_slot[leaves[sel]])
+        return out
+
+    def predict_one(self, q: np.ndarray) -> float:
+        """Single-query fast path (not re-entrant: reuses scratch buffers)."""
+        q = np.asarray(q, dtype=np.float64).ravel()
+        if q.shape[0] != self.input_dim:
+            raise ValueError(f"expected a query of dim {self.input_dim}, got {q.shape[0]}")
+        lid = self.tree.route_one(q)
+        group = self.groups[self.leaf_group[lid]]
+        return group.forward_one(q, int(self.leaf_slot[lid]))
+
+    __call__ = predict
+
+    # ------------------------------------------------------------------ size
+
+    @property
+    def n_leaves(self) -> int:
+        return self.tree.n_leaves
+
+    def num_params(self) -> int:
+        return sum(g.num_params() for g in self.groups)
+
+    def num_bytes(self) -> int:
+        """Same storage accounting as the object path: float32 weights plus
+        16 bytes per internal split node."""
+        return self.num_params() * BYTES_PER_PARAM + 16 * self.tree.n_internal
+
+    # ------------------------------------------------------------ persistence
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "compiled-sketch-v1",
+            "input_dim": self.input_dim,
+            "tree": self.tree.to_dict(),
+            "leaf_group": self.leaf_group.tolist(),
+            "leaf_slot": self.leaf_slot.tolist(),
+            "groups": [g.to_dict() for g in self.groups],
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "CompiledSketch":
+        if state.get("format") != "compiled-sketch-v1":
+            raise ValueError(f"not a compiled sketch payload: {state.get('format')!r}")
+        return cls(
+            FlatTree.from_dict(state["tree"]),
+            [_LeafGroup.from_dict(g) for g in state["groups"]],
+            np.asarray(state["leaf_group"]),
+            np.asarray(state["leaf_slot"]),
+            state["input_dim"],
+        )
+
+    def save(self, path: str) -> None:
+        """Persist as gzipped JSON (mirrors ``NeuroSketch.save``)."""
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh)
+
+    @classmethod
+    def load(cls, path: str) -> "CompiledSketch":
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledSketch(n_leaves={self.n_leaves}, groups={len(self.groups)}, "
+            f"nodes={self.tree.n_nodes}, input_dim={self.input_dim})"
+        )

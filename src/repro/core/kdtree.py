@@ -161,23 +161,26 @@ class QueryKDTree:
         return node
 
     def route_batch(self, Q: np.ndarray) -> np.ndarray:
-        """Leaf ids for a batch of queries, shape ``(m,)``."""
+        """Leaf ids for a batch of queries, shape ``(m,)``.
+
+        Iterative (explicit work stack), so routing depth is bounded by
+        memory rather than the interpreter recursion limit — tall or
+        degenerate trees loaded via :meth:`from_dict` route fine.
+        """
         Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
         out = np.empty(Q.shape[0], dtype=np.int64)
-        self._route_recursive(self.root, Q, np.arange(Q.shape[0]), out)
+        stack: list[tuple[KDNode, np.ndarray]] = [(self.root, np.arange(Q.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.leaf_id
+                continue
+            mask = Q[idx, node.dim] <= node.val
+            stack.append((node.right, idx[~mask]))
+            stack.append((node.left, idx[mask]))
         return out
-
-    def _route_recursive(
-        self, node: KDNode, Q: np.ndarray, idx: np.ndarray, out: np.ndarray
-    ) -> None:
-        if node.is_leaf:
-            out[idx] = node.leaf_id
-            return
-        mask = Q[idx, node.dim] <= node.val
-        if mask.any():
-            self._route_recursive(node.left, Q, idx[mask], out)
-        if not mask.all():
-            self._route_recursive(node.right, Q, idx[~mask], out)
 
     # ------------------------------------------------------------ persistence
 

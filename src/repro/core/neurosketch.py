@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.compiled import CompiledSketch
 from repro.core.complexity import leaf_aqcs
 from repro.core.kdtree import QueryKDTree
 from repro.core.merging import merge_leaves
@@ -79,6 +80,7 @@ class NeuroSketch:
         self.models: dict[int, _LeafModel] = {}
         self.input_dim: int | None = None
         self.leaf_aqcs_: dict[int, float] = {}
+        self._compiled: CompiledSketch | None = None
 
     # ------------------------------------------------------------------- fit
 
@@ -106,6 +108,7 @@ class NeuroSketch:
             raise ValueError("Q_train and y_train must have matching length")
 
         self.input_dim = Q_train.shape[1]
+        self._compiled = None  # any previous compilation is now stale
         rng = np.random.default_rng(self.seed)
 
         # (1) Partition & index.
@@ -145,11 +148,31 @@ class NeuroSketch:
         if self.tree is None or not self.models:
             raise RuntimeError("NeuroSketch is not fitted; call fit() first")
 
+    # --------------------------------------------------------------- compile
+
+    def compile(self, force: bool = False) -> CompiledSketch:
+        """Flatten this sketch into a :class:`CompiledSketch` (cached).
+
+        The compiled engine answers the same queries with the same float64
+        arithmetic but through packed arrays and grouped batched matmuls;
+        ``fit`` invalidates the cache.
+        """
+        self._check_fitted()
+        if force or self._compiled is None:
+            self._compiled = CompiledSketch.from_sketch(self)
+        return self._compiled
+
     # --------------------------------------------------------------- predict
 
-    def predict(self, Q: np.ndarray) -> np.ndarray:
-        """Answers for a batch of queries (Alg. 5, vectorized per leaf)."""
+    def predict(self, Q: np.ndarray, compiled: bool = False) -> np.ndarray:
+        """Answers for a batch of queries (Alg. 5, vectorized per leaf).
+
+        ``compiled=True`` routes through :meth:`compile`'s packed engine
+        instead of the object tree — same answers, far less dispatch.
+        """
         self._check_fitted()
+        if compiled:
+            return self.compile().predict(Q)
         Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
         leaf_ids = self.tree.route_batch(Q)
         out = np.empty(Q.shape[0], dtype=np.float64)
@@ -158,9 +181,11 @@ class NeuroSketch:
             out[mask] = self.models[int(leaf_id)].regressor.predict(Q[mask])
         return out
 
-    def predict_one(self, q: np.ndarray) -> float:
+    def predict_one(self, q: np.ndarray, compiled: bool = False) -> float:
         """Single-query path (what the query-time benchmarks measure)."""
         self._check_fitted()
+        if compiled:
+            return self.compile().predict_one(q)
         leaf = self.tree.route(q)
         return float(self.models[leaf.leaf_id].regressor.predict(np.atleast_2d(q))[0])
 

@@ -67,7 +67,14 @@ class Estimator:
 
 
 class NeuroSketchEstimator(Estimator):
-    """NeuroSketch under the bench protocol."""
+    """NeuroSketch under the bench protocol.
+
+    ``compile=True`` (the default) flattens the fitted sketch into the
+    packed-array engine (:mod:`repro.core.compiled`) at fit time, so timing
+    runs measure the fast path; the reference object path stays reachable
+    through :meth:`predict_object`/:meth:`predict_one_object`, which the
+    runner uses to report the compiled-vs-object speedup.
+    """
 
     name = "neurosketch"
 
@@ -82,6 +89,7 @@ class NeuroSketchEstimator(Estimator):
         batch_size: int = 256,
         lr: float = 1e-3,
         seed: int = 0,
+        compile: bool = True,
     ) -> None:
         self._sketch = NeuroSketch(
             tree_height=tree_height,
@@ -92,6 +100,7 @@ class NeuroSketchEstimator(Estimator):
             train_config=TrainConfig(epochs=epochs, batch_size=batch_size, lr=lr, seed=seed),
             seed=seed,
         )
+        self.compile_enabled = bool(compile)
 
     @property
     def sketch(self) -> NeuroSketch:
@@ -99,13 +108,25 @@ class NeuroSketchEstimator(Estimator):
 
     def fit(self, query_function, Q_train, y_train) -> "NeuroSketchEstimator":
         self._sketch.fit(query_function, Q_train, y_train)
+        if self.compile_enabled:
+            # Compilation is part of the build, so build-time measurements
+            # include it (it is orders of magnitude cheaper than training).
+            self._sketch.compile()
         return self
 
     def predict(self, Q: np.ndarray) -> np.ndarray:
-        return self._sketch.predict(Q)
+        return self._sketch.predict(Q, compiled=self.compile_enabled)
 
     def predict_one(self, q: np.ndarray) -> float:
-        return self._sketch.predict_one(q)
+        return self._sketch.predict_one(q, compiled=self.compile_enabled)
+
+    def predict_object(self, Q: np.ndarray) -> np.ndarray:
+        """Reference object-path batch predict (parity / speedup baseline)."""
+        return self._sketch.predict(Q, compiled=False)
+
+    def predict_one_object(self, q: np.ndarray) -> float:
+        """Reference object-path single-query predict."""
+        return self._sketch.predict_one(q, compiled=False)
 
     def num_bytes(self) -> int:
         return self._sketch.num_bytes()
@@ -222,6 +243,7 @@ def build_estimator(
     batch_size: int = 256,
     lr: float = 1e-3,
     sample_frac: float = 0.1,
+    compile: bool = True,
 ) -> Estimator:
     """Instantiate a registered estimator with experiment-level knobs.
 
@@ -240,6 +262,7 @@ def build_estimator(
         batch_size=batch_size,
         lr=lr,
         sample_frac=sample_frac,
+        compile=compile,
     )
 
 
@@ -254,6 +277,7 @@ def _make_neurosketch(**kw) -> Estimator:
         batch_size=kw["batch_size"],
         lr=kw["lr"],
         seed=kw["seed"],
+        compile=kw.get("compile", True),
     )
 
 

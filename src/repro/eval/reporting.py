@@ -65,6 +65,12 @@ def _table(headers: list[str], rows: list[list[str]]) -> str:
     return "\n".join([line(headers), sep] + [line(r) for r in rows])
 
 
+def _fmt_speedup(batch: dict) -> str:
+    """Compiled-vs-object speedup cell (``-`` when no object baseline ran)."""
+    speedup = batch.get("speedup_vs_object_per_query")
+    return f"{speedup:.1f}x" if speedup is not None else "-"
+
+
 def format_result_table(result: ExperimentResult) -> str:
     """Fixed-width summary table for one experiment."""
     headers = [
@@ -74,14 +80,17 @@ def format_result_table(result: ExperimentResult) -> str:
         "RMSE",
         "med lat",
         "p95 lat",
+        "batch q/s",
+        "vs obj",
         "build",
         "bytes",
     ]
     rows: list[list[str]] = []
     for est in result.estimators:
         if not est.supported:
-            rows.append([est.name, "unsupported", "-", "-", "-", "-", "-", "-"])
+            rows.append([est.name, "unsupported"] + ["-"] * (len(headers) - 2))
             continue
+        qps = est.batch.get("queries_per_s")
         rows.append(
             [
                 est.name,
@@ -90,6 +99,8 @@ def format_result_table(result: ExperimentResult) -> str:
                 f"{est.errors['rmse']:.4g}",
                 _fmt_seconds(est.latency.median_s if est.latency else None),
                 _fmt_seconds(est.latency.p95_s if est.latency else None),
+                f"{qps:,.0f}" if qps is not None else "-",
+                _fmt_speedup(est.batch),
                 _fmt_seconds(est.build_s),
                 _fmt_bytes(est.num_bytes),
             ]

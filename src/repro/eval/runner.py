@@ -53,6 +53,8 @@ class ExperimentConfig:
     lr: float = 1e-3
     # Sampling baselines.
     sample_frac: float = 0.1
+    # Compiled inference (NeuroSketch): False restores the object path.
+    compile: bool = True
     # Timing harness.
     n_timing_queries: int = 200
     timing_warmup: int = 20
@@ -223,6 +225,7 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
             batch_size=config.batch_size,
             lr=config.lr,
             sample_frac=config.sample_frac,
+            compile=config.compile,
         )
         if not estimator.supports(qf):
             say(f"skipping {name}: does not support {qf.aggregate.name}")
@@ -244,6 +247,29 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
             repeats=config.timing_repeats,
         )
         batch = time_batch(estimator.predict, Q_test, repeats=config.timing_repeats)
+
+        # When an estimator serves a compiled fast path, also time its
+        # reference object path so the BENCH file records the speedup: both
+        # the batched object predict and the per-query object loop (how the
+        # object path serves a query stream — the paper's query-time metric).
+        if getattr(estimator, "compile_enabled", False) and hasattr(
+            estimator, "predict_object"
+        ):
+            say(f"timing {name} object path (speedup baseline)")
+            batch_obj = time_batch(
+                estimator.predict_object, Q_test, repeats=config.timing_repeats
+            )
+            latency_obj = time_per_query(
+                estimator.predict_one_object,
+                Q_timing,
+                warmup=config.timing_warmup,
+                repeats=config.timing_repeats,
+            )
+            per_query_total = latency_obj.mean_s * Q_test.shape[0]
+            batch["object_batch_s"] = batch_obj["batch_s"]
+            batch["object_per_query_total_s"] = per_query_total
+            batch["speedup_vs_object_batch"] = batch_obj["batch_s"] / batch["batch_s"]
+            batch["speedup_vs_object_per_query"] = per_query_total / batch["batch_s"]
 
         results.append(
             EstimatorResult(

@@ -86,6 +86,11 @@ class MLP:
     # ------------------------------------------------------------- parameters
 
     @property
+    def dense_layers(self) -> list[Dense]:
+        """The affine layers in forward order (what a compiler stacks)."""
+        return [layer for layer in self.layers if isinstance(layer, Dense)]
+
+    @property
     def params(self) -> list[np.ndarray]:
         return [p for layer in self.layers for p in layer.params]
 

@@ -1,0 +1,66 @@
+"""Regenerate the golden sketch artifact and its expected predictions.
+
+Run from the repo root after an *intentional* serialization change:
+
+    PYTHONPATH=src python tests/data/make_golden.py
+
+Commit the refreshed ``golden_sketch.json.gz`` / ``golden_expected.json``
+together with the change that required them. ``tests/test_golden.py`` fails
+whenever loading + compiling a previously saved sketch stops reproducing
+these predictions, which is the cross-PR guard against silent drift in the
+persistence schema or the inference arithmetic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.neurosketch import NeuroSketch
+from repro.nn.training import TrainConfig
+
+HERE = Path(__file__).resolve().parent
+SEED = 42
+DIM = 4
+N_TRAIN = 240
+N_QUERIES = 32
+
+
+def build_sketch() -> tuple[NeuroSketch, np.ndarray]:
+    rng = np.random.default_rng(SEED)
+    Q = rng.uniform(0.0, 1.0, size=(N_TRAIN, DIM))
+    # A smooth deterministic target so the fit is stable across retrains.
+    y = np.sin(Q @ np.arange(1, DIM + 1)) + 0.25 * Q.sum(axis=1)
+    ns = NeuroSketch(
+        tree_height=3,
+        n_partitions=4,
+        depth=3,
+        width_first=10,
+        width_rest=6,
+        train_config=TrainConfig(epochs=10, batch_size=32, seed=SEED),
+        seed=SEED,
+    )
+    ns.fit(Q_train=Q, y_train=y)
+    queries = rng.uniform(0.0, 1.0, size=(N_QUERIES, DIM))
+    return ns, queries
+
+
+def main() -> None:
+    ns, queries = build_sketch()
+    ns.save(str(HERE / "golden_sketch.json.gz"))
+    expected = ns.predict(queries)
+    payload = {
+        "seed": SEED,
+        "queries": queries.tolist(),
+        "expected": expected.tolist(),
+    }
+    with open(HERE / "golden_expected.json", "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote golden artifacts for {ns.tree.n_leaves} leaves to {HERE}")
+
+
+if __name__ == "__main__":
+    main()

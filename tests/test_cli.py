@@ -50,6 +50,49 @@ def test_dataset_aliases_share_one_bench_trajectory(tmp_path):
     assert (tmp_path / "BENCH_synthetic.json").exists()
 
 
+def test_run_no_compile_escape_hatch(tmp_path):
+    rc = main(
+        [
+            "run",
+            "--dataset", "synthetic",
+            "--estimators", "neurosketch",
+            "--fast",
+            "--no-compile",
+            "--n-rows", "400",
+            "--n-train", "60",
+            "--n-test", "20",
+            "--quiet",
+            "--out-dir", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    payload = json.loads((tmp_path / "BENCH_synthetic.json").read_text())
+    assert payload["config"]["compile"] is False
+    ns = payload["estimators"][0]
+    assert "speedup_vs_object_batch" not in ns["batch"]
+
+
+def test_run_default_records_compiled_speedup(tmp_path):
+    rc = main(
+        [
+            "run",
+            "--dataset", "synthetic",
+            "--estimators", "neurosketch",
+            "--fast",
+            "--n-rows", "400",
+            "--n-train", "60",
+            "--n-test", "20",
+            "--quiet",
+            "--out-dir", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    payload = json.loads((tmp_path / "BENCH_synthetic.json").read_text())
+    assert payload["config"]["compile"] is True
+    ns = payload["estimators"][0]
+    assert ns["batch"]["speedup_vs_object_per_query"] > 0.0
+
+
 def test_run_no_bench_skips_file(tmp_path):
     rc = main(
         [

@@ -122,6 +122,61 @@ def test_result_table_renders(tiny_result):
     assert "neurosketch" in table
     assert "norm MAE" in table
     assert "uniform-answer baseline" in table
+    assert "vs obj" in table
+
+
+def test_runner_records_compiled_speedups(tiny_result):
+    """Compiled serving is the default; the BENCH entry must carry both the
+    object-path batch time and the derived speedups."""
+    batch = tiny_result.estimator("neurosketch").batch
+    for key in (
+        "object_batch_s",
+        "object_per_query_total_s",
+        "speedup_vs_object_batch",
+        "speedup_vs_object_per_query",
+    ):
+        assert key in batch and np.isfinite(batch[key]) and batch[key] > 0.0
+    # Baselines have no compiled path, so no speedup fields.
+    assert "speedup_vs_object_batch" not in tiny_result.estimator("exact").batch
+
+
+def test_no_compile_config_restores_object_path():
+    config = ExperimentConfig(
+        dataset="synthetic",
+        estimators=("neurosketch",),
+        fast=True,
+        n_rows=400,
+        n_train=120,
+        n_test=40,
+        n_timing_queries=5,
+        timing_warmup=1,
+        timing_repeats=1,
+        compile=False,
+        seed=0,
+    )
+    result = run_experiment(config)
+    batch = result.estimator("neurosketch").batch
+    assert "speedup_vs_object_batch" not in batch
+    assert result.config.compile is False
+
+
+def test_compiled_and_object_estimators_agree():
+    """The estimator-level compiled flag changes dispatch, not answers."""
+    from repro.data import load_dataset
+    from repro.queries import QueryFunction, WorkloadGenerator
+
+    ds = load_dataset("synthetic", n=400, seed=0)
+    qf = QueryFunction.axis_range(ds, aggregate="AVG")
+    Q = WorkloadGenerator(qf, seed=1).sample(40)
+    y = qf(Q)
+    kwargs = dict(tree_height=2, n_partitions=None, depth=2, width_first=8,
+                  width_rest=8, epochs=1, seed=0)
+    fast = build_estimator("neurosketch", compile=True, **kwargs).fit(qf, Q, y)
+    slow = build_estimator("neurosketch", compile=False, **kwargs).fit(qf, Q, y)
+    np.testing.assert_allclose(fast.predict(Q), slow.predict(Q), rtol=1e-12, atol=1e-12)
+    np.testing.assert_allclose(fast.predict_object(Q), slow.predict(Q), rtol=0, atol=0)
+    assert fast.predict_one(Q[0]) == pytest.approx(slow.predict_one(Q[0]), rel=1e-12)
+    assert fast.predict_one_object(Q[1]) == slow.predict_one(Q[1])
 
 
 def test_latency_stats_from_samples():

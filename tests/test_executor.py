@@ -57,3 +57,90 @@ def test_selectivity_in_unit_interval(setup):
     _, qf, Q = setup
     sel = qf.selectivity(Q)
     assert np.all(sel >= 0.0) and np.all(sel <= 1.0)
+
+
+# ---------------------------------------------------------------- edge cases
+
+
+def _random_bounds(rng, m, d):
+    lo = rng.uniform(0.0, 0.7, size=(m, d))
+    hi = lo + rng.uniform(0.05, 0.3, size=(m, d))
+    return lo, np.minimum(hi, 1.0)
+
+
+@pytest.mark.parametrize("extra", [0, 1])
+def test_blocked_path_at_exact_block_boundary(monkeypatch, extra):
+    """Query counts landing exactly on (and one past) the block boundary.
+
+    With ``_BLOCK_CELLS`` patched so ``q_block * n == _BLOCK_CELLS``, a batch
+    of ``k * q_block`` queries exercises full blocks with no remainder; the
+    ``+1`` case adds a one-query trailing block. Both must match the
+    unblocked evaluation bit-for-bit.
+    """
+    from repro.queries import executor
+    from repro.queries.aggregates import get_aggregate
+
+    rng = np.random.default_rng(7)
+    n, d, q_block = 40, 3, 5
+    X = rng.uniform(0.0, 1.0, size=(n, d))
+    measure = rng.uniform(0.0, 10.0, size=n)
+    m = 3 * q_block + extra
+    lo, hi = _random_bounds(rng, m, d)
+    agg = get_aggregate("AVG")
+
+    unblocked = executor.evaluate_axis_range_batch(X, measure, lo, hi, agg)
+    monkeypatch.setattr(executor, "_BLOCK_CELLS", q_block * n)
+    blocked = executor.evaluate_axis_range_batch(X, measure, lo, hi, agg)
+    np.testing.assert_array_equal(blocked, unblocked)
+
+
+@pytest.mark.parametrize("agg", ["AVG", "STD", "VAR"])
+def test_zero_match_moment_aggregates_do_not_warn(agg):
+    """Empty selections must yield 0.0 with no divide/invalid warnings.
+
+    The suite runs with ``filterwarnings = error``, so a NaN-producing
+    division inside the moment path would fail this test outright.
+    """
+    from repro.queries.executor import evaluate_axis_range_batch
+    from repro.queries.aggregates import get_aggregate
+
+    rng = np.random.default_rng(11)
+    X = rng.uniform(0.0, 1.0, size=(60, 2))
+    measure = rng.uniform(0.0, 5.0, size=60)
+    # Boxes entirely outside the data domain: zero matches for every query.
+    lo = np.full((8, 2), 2.0)
+    hi = np.full((8, 2), 3.0)
+    out = evaluate_axis_range_batch(X, measure, lo, hi, get_aggregate(agg))
+    np.testing.assert_array_equal(out, np.zeros(8))
+    assert np.all(np.isfinite(out))
+
+
+@pytest.mark.parametrize("agg", ["COUNT", "SUM", "AVG", "STD", "MEDIAN"])
+def test_one_dimensional_data(agg):
+    """d=1 data through both the moment path and the per-query fallback."""
+    from repro.queries.executor import evaluate_axis_range_batch
+    from repro.queries.aggregates import get_aggregate
+
+    rng = np.random.default_rng(13)
+    X = rng.uniform(0.0, 1.0, size=(200, 1))
+    measure = rng.uniform(0.0, 10.0, size=200)
+    lo, hi = _random_bounds(rng, 25, 1)
+    got = evaluate_axis_range_batch(X, measure, lo, hi, get_aggregate(agg))
+
+    reference = get_aggregate(agg)
+    expected = []
+    for k in range(25):
+        mask = ((X >= lo[k]) & (X < hi[k])).all(axis=1)
+        expected.append(reference(measure[mask]))
+    np.testing.assert_allclose(got, np.array(expected), rtol=1e-12, atol=1e-12)
+
+
+def test_one_dimensional_end_to_end_dataset():
+    """A 1-attribute dataset (measure == the only column) evaluates cleanly."""
+    rng = np.random.default_rng(17)
+    raw = rng.uniform(0.0, 10.0, size=(150, 1))
+    ds = Dataset(raw, ["m"], measure="m", name="one-d")
+    qf = QueryFunction.axis_range(ds, aggregate="AVG")
+    Q = WorkloadGenerator(qf, seed=3).sample(20)
+    got = qf(Q)
+    np.testing.assert_allclose(got, _naive(ds, qf, Q, "AVG"), rtol=1e-10, atol=1e-10)

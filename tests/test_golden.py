@@ -1,0 +1,69 @@
+"""Golden-file regression: saved sketches must keep answering the same.
+
+``tests/data/golden_sketch.json.gz`` is a fitted sketch committed to the
+repo; ``golden_expected.json`` holds queries and the predictions it produced
+when saved. Loading the artifact — through the object path AND the compiled
+engine — must reproduce those numbers, guarding the persistence schema and
+the inference arithmetic across PRs. Regenerate with
+``python tests/data/make_golden.py`` only for intentional format changes.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.compiled import CompiledSketch
+from repro.core.neurosketch import NeuroSketch
+
+DATA = Path(__file__).resolve().parent / "data"
+
+# Looser than the parity tolerance (1e-12): golden predictions cross
+# machines and BLAS builds, where tiny rounding differences are legitimate.
+# Schema or arithmetic drift produces errors many orders of magnitude above.
+GOLDEN_RTOL = 1e-7
+GOLDEN_ATOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden():
+    sketch = NeuroSketch.load(str(DATA / "golden_sketch.json.gz"))
+    with open(DATA / "golden_expected.json", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    queries = np.asarray(payload["queries"], dtype=np.float64)
+    expected = np.asarray(payload["expected"], dtype=np.float64)
+    return sketch, queries, expected
+
+
+def test_object_path_matches_golden(golden):
+    sketch, queries, expected = golden
+    np.testing.assert_allclose(
+        sketch.predict(queries), expected, rtol=GOLDEN_RTOL, atol=GOLDEN_ATOL
+    )
+
+
+def test_compiled_path_matches_golden(golden):
+    sketch, queries, expected = golden
+    np.testing.assert_allclose(
+        sketch.predict(queries, compiled=True), expected, rtol=GOLDEN_RTOL, atol=GOLDEN_ATOL
+    )
+
+
+def test_compiled_round_trip_matches_golden(golden):
+    """save -> load -> compile -> serialize compiled -> reload: still golden."""
+    sketch, queries, expected = golden
+    compiled = CompiledSketch.from_dict(sketch.compile().to_dict())
+    np.testing.assert_allclose(
+        compiled.predict(queries), expected, rtol=GOLDEN_RTOL, atol=GOLDEN_ATOL
+    )
+    singles = [compiled.predict_one(q) for q in queries]
+    np.testing.assert_allclose(singles, expected, rtol=GOLDEN_RTOL, atol=GOLDEN_ATOL)
+
+
+def test_golden_sketch_shape_is_stable(golden):
+    """The artifact itself should not silently change shape."""
+    sketch, queries, _ = golden
+    assert sketch.tree.n_leaves == 4
+    assert sketch.input_dim == queries.shape[1] == 4
+    assert sketch.num_params() == sketch.compile().num_params()

@@ -66,3 +66,65 @@ def test_degenerate_duplicates_stop_splitting():
     Q = np.zeros((16, 2))  # all-identical queries cannot be median-split
     tree = QueryKDTree(Q, height=3)
     assert tree.n_leaves == 1
+
+
+def test_tall_tree_routing_height_12():
+    """Batch routing must agree with single routing on a height >= 12 tree."""
+    rng = np.random.default_rng(3)
+    Q = rng.uniform(0.0, 1.0, size=(8192, 2))
+    tree = QueryKDTree(Q, height=12)
+    assert tree.n_leaves > 2048  # genuinely deep, not degenerate
+    probes = rng.uniform(0.0, 1.0, size=(512, 2))
+    batch_ids = tree.route_batch(probes)
+    single_ids = np.array([tree.route(q).leaf_id for q in probes])
+    np.testing.assert_array_equal(batch_ids, single_ids)
+    for i, q in enumerate(Q[::97]):
+        assert i * 97 in set(tree.route(q).indices.tolist())
+
+
+def _chain_tree(depth: int) -> QueryKDTree:
+    """A pathological left-spine tree of the given depth, built by hand.
+
+    The build algorithm never produces this shape, but ``from_dict`` can
+    load arbitrary structures, so routing must not rely on balance.
+    """
+    from repro.core.kdtree import KDNode
+
+    tree = QueryKDTree.__new__(QueryKDTree)
+    tree.Q = np.zeros((1, 1))
+    tree.height = depth
+    tree.dim = 1
+    root = KDNode(np.empty(0, dtype=np.int64))
+    node = root
+    for _ in range(depth):
+        node.dim = 0
+        node.val = 0.5
+        node.left = KDNode(np.empty(0, dtype=np.int64))
+        node.right = KDNode(np.empty(0, dtype=np.int64))
+        node = node.left
+    tree.root = root
+    tree.relabel_leaves()
+    return tree
+
+
+def test_routing_survives_depth_beyond_recursion_limit():
+    """Routing is iterative: a chain deeper than the interpreter recursion
+    limit must not raise RecursionError (the old recursive batch router did)."""
+    import sys
+
+    depth = sys.getrecursionlimit() + 500
+    tree = _chain_tree(depth)
+    assert tree.n_leaves == depth + 1
+    deep_leaf = tree.route(np.array([0.25]))  # <= 0.5 goes left all the way down
+    assert len(deep_leaf.indices) == 0 and deep_leaf.is_leaf
+    Q = np.array([[0.25], [0.75]])
+    ids = tree.route_batch(Q)
+    assert ids[0] == deep_leaf.leaf_id
+    assert ids[1] == tree.route(np.array([0.75])).leaf_id
+
+    # The compiled flat tree handles the same pathological shape.
+    from repro.core.compiled import FlatTree
+
+    flat = FlatTree.from_tree(tree)
+    np.testing.assert_array_equal(flat.route_batch(Q), ids)
+    assert [flat.route_one(q) for q in Q] == ids.tolist()
