@@ -6,6 +6,8 @@ rather than modelling the data itself.
 
 The package is organized as:
 
+- :mod:`repro.api` — the unified :class:`~repro.api.Estimator` protocol
+  every answerer implements, plus the estimator registry.
 - :mod:`repro.core` — the NeuroSketch framework (the paper's contribution).
 - :mod:`repro.nn` — a from-scratch NumPy neural-network substrate, including
   the constructive network of Theorem 3.4.
@@ -17,8 +19,11 @@ The package is organized as:
   sample) and VerdictDB-lite; DBEst-lite / DeepDB-lite / histogram
   synopses are planned (ROADMAP.md).
 - :mod:`repro.eval` — the experiment harness: Section-5.1 metrics, timing,
-  a uniform estimator protocol, the end-to-end runner and ``BENCH_*.json``
-  reporting behind the ``python -m repro`` CLI.
+  the end-to-end runner and ``BENCH_*.json`` reporting behind the
+  ``python -m repro`` CLI.
+- :mod:`repro.serve` — the query service: named sketches behind
+  micro-batching, a quantized answer cache and async submission
+  (``repro serve`` / ``repro query`` on the CLI).
 
 Quickstart::
 

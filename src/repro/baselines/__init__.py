@@ -6,6 +6,12 @@
   scratch in :mod:`repro.baselines.rtree`).
 - :class:`~repro.baselines.verdictdb.VerdictLite` — VerdictDB-style
   scramble-sample engine (uniform sample, no index).
+- :class:`~repro.baselines.uniform.UniformAnswerEstimator` — always answers
+  ``mean(y_train)``; the floor any learned estimator must beat.
+
+All of them implement the unified :class:`repro.api.Estimator` protocol;
+the historical ``answer``/``answer_one`` spellings survive as deprecation
+shims on :class:`~repro.baselines.base.AQPMethod`.
 
 DBEst-lite (mixture density networks), DeepDB-lite (sum-product networks)
 and a histogram synopsis are planned (see ROADMAP.md) but not implemented
@@ -16,6 +22,7 @@ from repro.baselines.base import AQPMethod
 from repro.baselines.exact import ExactScan
 from repro.baselines.rtree import RTree
 from repro.baselines.tree_agg import TreeAgg
+from repro.baselines.uniform import UniformAnswerEstimator
 from repro.baselines.verdictdb import VerdictLite
 
 __all__ = [
@@ -23,5 +30,6 @@ __all__ = [
     "ExactScan",
     "RTree",
     "TreeAgg",
+    "UniformAnswerEstimator",
     "VerdictLite",
 ]

@@ -1,41 +1,48 @@
-"""Common interface for AQP methods (NeuroSketch and all baselines)."""
+"""Baseline AQP methods under the unified estimator protocol.
+
+Historically the baselines spoke their own protocol
+(``fit(qf)/answer/answer_one``) while :class:`NeuroSketch` spoke
+``fit(qf, Q, y)/predict/predict_one``, and ``repro.eval.adapters`` glued the
+two together. That divergence is gone: every baseline now implements
+:class:`repro.api.Estimator` natively, and :class:`AQPMethod` survives only
+to keep the old ``answer``/``answer_one`` spellings alive as deprecation
+shims that warn and delegate.
+"""
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.queries.query_function import QueryFunction
+from repro.api import Estimator
 
 
-class AQPMethod:
-    """An approximate query processor bound to one query function.
+class AQPMethod(Estimator):
+    """Base class for the baseline engines.
 
-    Subclasses implement :meth:`fit` (preprocessing over the data and/or
-    workload) and :meth:`answer`. The bench harness only relies on this
-    protocol.
+    Subclasses implement the :class:`~repro.api.Estimator` protocol
+    (``fit``/``predict``/``predict_one``/``num_bytes``/``supports``); the
+    ``answer``/``answer_one`` methods below exist only for callers written
+    against the pre-unification API.
     """
 
-    name: str = "abstract"
-
-    def fit(self, query_function: QueryFunction, **kwargs) -> "AQPMethod":
-        raise NotImplementedError
+    name: str = "abstract-aqp"
 
     def answer(self, Q: np.ndarray) -> np.ndarray:
-        """Approximate answers for a query batch ``(m, d)``."""
-        raise NotImplementedError
+        """Deprecated alias of :meth:`~repro.api.Estimator.predict`."""
+        warnings.warn(
+            "AQPMethod.answer() is deprecated; use predict()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.predict(Q)
 
     def answer_one(self, q: np.ndarray) -> float:
-        """Single-query path (used for query-time measurement)."""
-        return float(self.answer(np.atleast_2d(q))[0])
-
-    def num_bytes(self) -> int:
-        """Storage footprint of the method's state."""
-        raise NotImplementedError
-
-    def supports(self, query_function: QueryFunction) -> bool:
-        """Whether this engine can answer the given query function at all.
-
-        Mirrors the paper's support matrix (e.g. DBEst cannot answer
-        multi-active-attribute queries; DeepDB/VerdictDB lack STD/MEDIAN).
-        """
-        return True
+        """Deprecated alias of :meth:`~repro.api.Estimator.predict_one`."""
+        warnings.warn(
+            "AQPMethod.answer_one() is deprecated; use predict_one()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.predict_one(q)

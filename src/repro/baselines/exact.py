@@ -11,16 +11,16 @@ from repro.queries.query_function import QueryFunction
 class ExactScan(AQPMethod):
     """Answers every query exactly by scanning the full dataset."""
 
-    name = "EXACT"
+    name = "exact"
 
     def __init__(self) -> None:
         self._qf: QueryFunction | None = None
 
-    def fit(self, query_function: QueryFunction, **kwargs) -> "ExactScan":
+    def fit(self, query_function: QueryFunction = None, Q_train=None, y_train=None) -> "ExactScan":
         self._qf = query_function
         return self
 
-    def answer(self, Q: np.ndarray) -> np.ndarray:
+    def predict(self, Q: np.ndarray) -> np.ndarray:
         if self._qf is None:
             raise RuntimeError("ExactScan is not fitted")
         return self._qf(Q)

@@ -34,7 +34,7 @@ class TreeAgg(AQPMethod):
         Sampling seed.
     """
 
-    name = "TREE-AGG"
+    name = "tree-agg"
 
     def __init__(
         self,
@@ -51,7 +51,7 @@ class TreeAgg(AQPMethod):
         self._sample_measure: np.ndarray | None = None
         self._scale = 1.0
 
-    def fit(self, query_function: QueryFunction, **kwargs) -> "TreeAgg":
+    def fit(self, query_function: QueryFunction = None, Q_train=None, y_train=None) -> "TreeAgg":
         self._qf = query_function
         ds = query_function.dataset
         rng = np.random.default_rng(self.seed)
@@ -75,12 +75,12 @@ class TreeAgg(AQPMethod):
         if self._tree is None:
             raise RuntimeError("TreeAgg is not fitted")
 
-    def answer(self, Q: np.ndarray) -> np.ndarray:
+    def predict(self, Q: np.ndarray) -> np.ndarray:
         self._check_fitted()
         Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
-        return np.array([self.answer_one(q) for q in Q])
+        return np.array([self.predict_one(q) for q in Q])
 
-    def answer_one(self, q: np.ndarray) -> float:
+    def predict_one(self, q: np.ndarray) -> float:
         self._check_fitted()
         pred = self._qf.predicate
         agg = self._qf.aggregate

@@ -1,0 +1,41 @@
+"""The uniform-answer baseline: predict ``mean(y_train)`` for every query.
+
+This is the sanity floor any learned estimator must beat (the runner also
+reports it analytically as ``uniform_normalized_mae``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import Estimator
+
+
+class UniformAnswerEstimator(Estimator):
+    """Predicts ``mean(y_train)`` for every query."""
+
+    name = "uniform"
+
+    def __init__(self) -> None:
+        self._constant: float | None = None
+
+    def fit(self, query_function=None, Q_train=None, y_train=None) -> "UniformAnswerEstimator":
+        y_train = np.asarray(y_train, dtype=np.float64).ravel()
+        if y_train.size == 0:
+            raise ValueError("uniform estimator needs a non-empty training workload")
+        self._constant = float(y_train.mean())
+        return self
+
+    def predict(self, Q: np.ndarray) -> np.ndarray:
+        if self._constant is None:
+            raise RuntimeError("UniformAnswerEstimator is not fitted")
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        return np.full(Q.shape[0], self._constant)
+
+    def predict_one(self, q: np.ndarray) -> float:
+        if self._constant is None:
+            raise RuntimeError("UniformAnswerEstimator is not fitted")
+        return self._constant
+
+    def num_bytes(self) -> int:
+        return 8  # one float64

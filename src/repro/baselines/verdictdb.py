@@ -33,7 +33,7 @@ class VerdictLite(AQPMethod):
         Sampling seed.
     """
 
-    name = "VerdictDB"
+    name = "verdictdb"
 
     def __init__(self, sample_size: int | float = 0.1, seed: int = 0) -> None:
         self.sample_size = sample_size
@@ -43,7 +43,7 @@ class VerdictLite(AQPMethod):
         self._sample_measure: np.ndarray | None = None
         self._scale = 1.0
 
-    def fit(self, query_function: QueryFunction, **kwargs) -> "VerdictLite":
+    def fit(self, query_function: QueryFunction = None, Q_train=None, y_train=None) -> "VerdictLite":
         self._qf = query_function
         ds = query_function.dataset
         rng = np.random.default_rng(self.seed)
@@ -68,12 +68,12 @@ class VerdictLite(AQPMethod):
     def supports(self, query_function: QueryFunction) -> bool:
         return query_function.aggregate.name in _SUPPORTED
 
-    def answer(self, Q: np.ndarray) -> np.ndarray:
+    def predict(self, Q: np.ndarray) -> np.ndarray:
         self._check_fitted()
         Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
-        return np.array([self.answer_one(q) for q in Q])
+        return np.array([self.predict_one(q) for q in Q])
 
-    def answer_one(self, q: np.ndarray) -> float:
+    def predict_one(self, q: np.ndarray) -> float:
         self._check_fitted()
         agg = self._qf.aggregate
         if agg.name not in _SUPPORTED:
@@ -93,7 +93,7 @@ class VerdictLite(AQPMethod):
         agg = self._qf.aggregate
         mask = self._qf.predicate.matches(np.asarray(q, dtype=np.float64), self._sample_X)
         values = self._sample_measure[mask]
-        estimate = self.answer_one(q)
+        estimate = self.predict_one(q)
         k = values.size
         if k < 2:
             return estimate, float("inf")

@@ -3,7 +3,11 @@
 Subcommands:
 
 - ``run`` — one end-to-end experiment; prints a summary table and writes
-  ``BENCH_<name>.json``.
+  ``BENCH_<name>.json`` (``--save-sketch`` also persists the fitted
+  NeuroSketch artifact).
+- ``serve`` — run a :class:`~repro.serve.SketchService` over a saved sketch:
+  JSON-lines queries on stdin, JSON answers on stdout.
+- ``query`` — one-shot ask against a saved sketch.
 - ``compare`` — side-by-side table over previously written BENCH files.
 - ``list-datasets`` — the dataset registry (paper sizes, defaults, aliases).
 
@@ -15,9 +19,12 @@ workload and training budget so the full pipeline finishes in seconds.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
+
+import numpy as np
 
 from repro._version import __version__
 from repro.data.registry import (
@@ -77,7 +84,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment name for BENCH_<name>.json (default: the dataset arg)")
     run.add_argument("--out-dir", default=".", help="directory for the BENCH file")
     run.add_argument("--no-bench", action="store_true", help="skip writing the BENCH file")
+    run.add_argument("--save-sketch", default=None, metavar="PATH",
+                     help="persist the fitted neurosketch artifact (gzip JSON) "
+                          "for `repro serve` / `repro query`")
     run.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a saved sketch: JSON-lines queries on stdin, answers on stdout",
+    )
+    serve.add_argument("--sketch", required=True, metavar="PATH",
+                       help="saved sketch artifact (NeuroSketch or compiled form)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="micro-batch size flush trigger")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="micro-batch deadline flush trigger, milliseconds")
+    serve.add_argument("--no-cache", action="store_true", help="disable the answer cache")
+    serve.add_argument("--cache-resolution", type=float, default=1e-4,
+                       help="answer-cache quantization grid step")
+    serve.add_argument("--cache-exact", action="store_true",
+                       help="bypass quantization: only bit-identical queries hit")
+
+    query = sub.add_parser("query", help="one-shot ask against a saved sketch")
+    query.add_argument("--sketch", required=True, metavar="PATH",
+                       help="saved sketch artifact (NeuroSketch or compiled form)")
+    query.add_argument("values", nargs="+",
+                       help="query vector components (space- or comma-separated)")
 
     compare = sub.add_parser("compare", help="compare previously written BENCH files")
     compare.add_argument("bench_files", nargs="+", help="paths to BENCH_*.json files")
@@ -127,6 +159,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             fast=args.fast,
         )
         name = args.name if args.name else _default_bench_name(args.dataset)
+        # Fail the --save-sketch precondition before the (possibly long)
+        # experiment runs, not after.
+        if args.save_sketch and "neurosketch" not in config.estimators:
+            raise ValueError("--save-sketch needs 'neurosketch' among --estimators")
     except (KeyError, ValueError) as exc:
         return _operator_error(exc)
     progress = None if args.quiet else (lambda msg: print(f"[repro] {msg}", file=sys.stderr))
@@ -138,6 +174,98 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except OSError as exc:  # unwritable --out-dir
             return _operator_error(exc)
         print(f"\nwrote {path}")
+    if args.save_sketch:
+        sketch = result.fitted.get("neurosketch")
+        if sketch is None:
+            return _operator_error(
+                ValueError("--save-sketch needs 'neurosketch' among --estimators")
+            )
+        try:
+            sketch.save(args.save_sketch)
+        except OSError as exc:
+            return _operator_error(exc)
+        print(f"wrote {args.save_sketch}")
+    return 0
+
+
+def _parse_query_vector(values: list[str]) -> np.ndarray:
+    parts = [p for chunk in values for p in chunk.replace(",", " ").split()]
+    try:
+        q = np.array([float(p) for p in parts], dtype=np.float64)
+    except ValueError:
+        raise ValueError(f"query components must be numbers, got {values!r}")
+    if q.size == 0:
+        raise ValueError("empty query vector")
+    return q
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import AnswerCache, SketchService, load_sketch
+
+    try:
+        sketch = load_sketch(args.sketch)
+    # EOFError: a truncated gzip stream ends without the stream marker.
+    except (OSError, ValueError, EOFError) as exc:
+        return _operator_error(exc)
+    try:
+        # Hold the cache ourselves so the loop can flag hits with a plain
+        # counter read instead of diffing full stats snapshots per query.
+        cache = None
+        if not args.no_cache:
+            cache = AnswerCache(resolution=args.cache_resolution, exact=args.cache_exact)
+        service = SketchService(
+            max_batch_size=args.max_batch,
+            max_delay_s=args.max_delay_ms / 1e3,
+            cache=False if cache is None else cache,
+        )
+        service.register("default", sketch)
+    except ValueError as exc:  # bad cache/batch knobs
+        return _operator_error(exc)
+    print(f"[repro serve] loaded {args.sketch}; reading JSON lines from stdin",
+          file=sys.stderr)
+    with service:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                qid = None
+                if isinstance(payload, dict):
+                    qid = payload.get("id")
+                    payload = payload["q"]
+                q = np.asarray(payload, dtype=np.float64).ravel()
+                hits_before = cache.hits if cache is not None else 0
+                answer = service.ask(q)
+                cached = cache is not None and cache.hits > hits_before
+                out = {"answer": answer, "cached": cached}
+                if qid is not None:
+                    out["id"] = qid
+                # allow_nan=False: a NaN answer (e.g. null query components)
+                # must become an error line, not RFC-invalid `NaN` JSON.
+                line_out = json.dumps(out, allow_nan=False)
+            except Exception as exc:  # a bad line must not kill the loop
+                print(json.dumps({"error": str(exc)}), flush=True)
+                continue
+            print(line_out, flush=True)
+        stats = service.stats()
+    print(f"[repro serve] done: {stats}", file=sys.stderr)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.serve import load_sketch
+
+    try:
+        sketch = load_sketch(args.sketch)
+        q = _parse_query_vector(args.values)
+        # The 1-row batch path, so a one-shot query computes exactly what
+        # the service's micro-batched flush would for the same vector.
+        answer = float(sketch.predict(q[None, :])[0])
+    # EOFError: a truncated gzip stream ends without the stream marker.
+    except (OSError, ValueError, EOFError) as exc:
+        return _operator_error(exc)
+    print(repr(answer))
     return 0
 
 
@@ -178,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
         "compare": _cmd_compare,
         "list-datasets": _cmd_list_datasets,
     }

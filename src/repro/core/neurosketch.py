@@ -13,12 +13,11 @@ Pipeline implemented by :meth:`NeuroSketch.fit`:
 
 from __future__ import annotations
 
-import gzip
-import json
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api import Estimator
 from repro.core.compiled import CompiledSketch
 from repro.core.complexity import leaf_aqcs
 from repro.core.kdtree import QueryKDTree
@@ -36,8 +35,11 @@ class _LeafModel:
     n_train: int
 
 
-class NeuroSketch:
+class NeuroSketch(Estimator):
     """Learned RAQ answerer: query-space kd-tree + one MLP per partition.
+
+    Implements the unified :class:`repro.api.Estimator` protocol natively
+    (``fit``/``predict``/``predict_one``/``num_bytes``/``save``/``load``).
 
     Parameters
     ----------
@@ -55,6 +57,8 @@ class NeuroSketch:
     seed:
         Seed for model init, batching and AQC pair subsampling.
     """
+
+    name = "neurosketch"
 
     def __init__(
         self,
@@ -261,12 +265,5 @@ class NeuroSketch:
         }
         return sketch
 
-    def save(self, path: str) -> None:
-        """Persist as gzipped JSON."""
-        with gzip.open(path, "wt", encoding="utf-8") as fh:
-            json.dump(self.to_dict(), fh)
-
-    @classmethod
-    def load(cls, path: str) -> "NeuroSketch":
-        with gzip.open(path, "rt", encoding="utf-8") as fh:
-            return cls.from_dict(json.load(fh))
+    # ``save``/``load`` come from the Estimator protocol (gzip-JSON through
+    # ``to_dict``/``from_dict``), so the artifact format is defined once.

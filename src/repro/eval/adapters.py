@@ -1,11 +1,19 @@
-"""Uniform estimator protocol over NeuroSketch and every baseline.
+"""Estimator registry entries (and deprecation shims for the old adapters).
 
-The core package grew two slightly different protocols: :class:`NeuroSketch`
-exposes ``fit(qf, Q_train, y_train)/predict/predict_one/num_bytes`` while the
-baselines (:class:`~repro.baselines.base.AQPMethod`) expose
-``fit(qf)/answer/answer_one/num_bytes`` and ignore the labelled workload.
-The bench harness needs one shape, so this module adapts both behind
-:class:`Estimator` and provides a registry the CLI resolves names against.
+The estimator protocol itself lives in :mod:`repro.api` — one
+:class:`~repro.api.Estimator` ABC that :class:`NeuroSketch` and every
+baseline implement natively — so the adapter classes this module used to
+define are gone. What remains here is:
+
+- :class:`NeuroSketchEstimator` — a thin :class:`NeuroSketch` subclass whose
+  ``predict``/``predict_one`` default to the compiled packed-array engine
+  (what a benchmark or server should measure), with the reference object
+  path kept reachable for parity/speedup reporting.
+- the built-in registry entries (``neurosketch``, ``exact``, ``rtree``,
+  ``tree-agg``, ``verdictdb``, ``uniform``) resolved by the CLI, the
+  experiment runner and the serving layer.
+- :class:`BaselineEstimator` — a deprecated wrapper that warns and
+  delegates, for callers written against the pre-unification API.
 
 Registered estimators:
 
@@ -22,52 +30,39 @@ Registered estimators:
 
 from __future__ import annotations
 
-from typing import Callable
+import warnings
 
 import numpy as np
 
+from repro.api import (
+    Estimator,
+    build_estimator,
+    estimator_names,
+    register_estimator,
+    resolve_estimator_name,
+)
 from repro.baselines.base import AQPMethod
 from repro.baselines.exact import ExactScan
 from repro.baselines.tree_agg import TreeAgg
+from repro.baselines.uniform import UniformAnswerEstimator
 from repro.baselines.verdictdb import VerdictLite
 from repro.core.neurosketch import NeuroSketch
 from repro.nn.training import TrainConfig
-from repro.queries.query_function import QueryFunction
+
+__all__ = [
+    "Estimator",
+    "NeuroSketchEstimator",
+    "BaselineEstimator",
+    "UniformAnswerEstimator",
+    "build_estimator",
+    "estimator_names",
+    "register_estimator",
+    "resolve_estimator_name",
+]
 
 
-class Estimator:
-    """One RAQ estimator under the bench protocol.
-
-    Subclasses implement :meth:`fit`, :meth:`predict`, :meth:`predict_one`
-    and :meth:`num_bytes`; ``fit`` always receives the query function *and*
-    the labelled training workload, and each subclass uses what it needs.
-    """
-
-    name: str = "abstract"
-
-    def fit(
-        self,
-        query_function: QueryFunction,
-        Q_train: np.ndarray,
-        y_train: np.ndarray,
-    ) -> "Estimator":
-        raise NotImplementedError
-
-    def predict(self, Q: np.ndarray) -> np.ndarray:
-        raise NotImplementedError
-
-    def predict_one(self, q: np.ndarray) -> float:
-        return float(self.predict(np.atleast_2d(q))[0])
-
-    def num_bytes(self) -> int:
-        raise NotImplementedError
-
-    def supports(self, query_function: QueryFunction) -> bool:
-        return True
-
-
-class NeuroSketchEstimator(Estimator):
-    """NeuroSketch under the bench protocol.
+class NeuroSketchEstimator(NeuroSketch):
+    """NeuroSketch serving the compiled engine by default.
 
     ``compile=True`` (the default) flattens the fitted sketch into the
     packed-array engine (:mod:`repro.core.compiled`) at fit time, so timing
@@ -75,8 +70,6 @@ class NeuroSketchEstimator(Estimator):
     through :meth:`predict_object`/:meth:`predict_one_object`, which the
     runner uses to report the compiled-vs-object speedup.
     """
-
-    name = "neurosketch"
 
     def __init__(
         self,
@@ -91,7 +84,7 @@ class NeuroSketchEstimator(Estimator):
         seed: int = 0,
         compile: bool = True,
     ) -> None:
-        self._sketch = NeuroSketch(
+        super().__init__(
             tree_height=tree_height,
             n_partitions=n_partitions,
             depth=depth,
@@ -104,50 +97,73 @@ class NeuroSketchEstimator(Estimator):
 
     @property
     def sketch(self) -> NeuroSketch:
-        return self._sketch
+        """Pre-unification accessor (the estimator *is* the sketch now)."""
+        return self
 
-    def fit(self, query_function, Q_train, y_train) -> "NeuroSketchEstimator":
-        self._sketch.fit(query_function, Q_train, y_train)
+    def fit(self, query_function=None, Q_train=None, y_train=None) -> "NeuroSketchEstimator":
+        super().fit(query_function, Q_train, y_train)
         if self.compile_enabled:
             # Compilation is part of the build, so build-time measurements
             # include it (it is orders of magnitude cheaper than training).
-            self._sketch.compile()
+            self.compile()
         return self
 
-    def predict(self, Q: np.ndarray) -> np.ndarray:
-        return self._sketch.predict(Q, compiled=self.compile_enabled)
+    def predict(self, Q: np.ndarray, compiled: bool | None = None) -> np.ndarray:
+        use = self.compile_enabled if compiled is None else compiled
+        return super().predict(Q, compiled=use)
 
-    def predict_one(self, q: np.ndarray) -> float:
-        return self._sketch.predict_one(q, compiled=self.compile_enabled)
+    def predict_one(self, q: np.ndarray, compiled: bool | None = None) -> float:
+        use = self.compile_enabled if compiled is None else compiled
+        return super().predict_one(q, compiled=use)
 
     def predict_object(self, Q: np.ndarray) -> np.ndarray:
         """Reference object-path batch predict (parity / speedup baseline)."""
-        return self._sketch.predict(Q, compiled=False)
+        return super().predict(Q, compiled=False)
 
     def predict_one_object(self, q: np.ndarray) -> float:
         """Reference object-path single-query predict."""
-        return self._sketch.predict_one(q, compiled=False)
-
-    def num_bytes(self) -> int:
-        return self._sketch.num_bytes()
+        return super().predict_one(q, compiled=False)
 
 
 class BaselineEstimator(Estimator):
-    """Adapter for any :class:`~repro.baselines.base.AQPMethod`."""
+    """Deprecated: baselines implement :class:`~repro.api.Estimator` natively.
+
+    Kept so pre-unification callers (``BaselineEstimator(TreeAgg(...))``)
+    keep working; it warns on construction and delegates every call.
+    """
 
     def __init__(self, method: AQPMethod, name: str | None = None) -> None:
+        warnings.warn(
+            "BaselineEstimator is deprecated: baselines implement the "
+            "repro.api.Estimator protocol directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._method = method
         self.name = name if name is not None else method.name.lower()
 
-    def fit(self, query_function, Q_train, y_train) -> "BaselineEstimator":
+    def fit(self, query_function=None, Q_train=None, y_train=None) -> "BaselineEstimator":
+        # Pre-unification AQPMethod subclasses declared fit(query_function,
+        # **kwargs); pass only what both signatures accept.
         self._method.fit(query_function)
         return self
 
+    def _is_old_style(self) -> bool:
+        # An old-style subclass overrides answer() but never predict();
+        # checking the override (rather than catching NotImplementedError)
+        # keeps a concrete estimator's own NotImplementedError — e.g.
+        # VerdictLite on STD — propagating undisturbed.
+        return type(self._method).predict is Estimator.predict
+
     def predict(self, Q: np.ndarray) -> np.ndarray:
-        return self._method.answer(Q)
+        if self._is_old_style():
+            return self._method.answer(Q)
+        return self._method.predict(Q)
 
     def predict_one(self, q: np.ndarray) -> float:
-        return self._method.answer_one(q)
+        if self._is_old_style():
+            return float(self._method.answer(np.atleast_2d(q))[0])
+        return self._method.predict_one(q)
 
     def num_bytes(self) -> int:
         return self._method.num_bytes()
@@ -156,114 +172,13 @@ class BaselineEstimator(Estimator):
         return self._method.supports(query_function)
 
 
-class UniformAnswerEstimator(Estimator):
-    """Predicts ``mean(y_train)`` for every query."""
-
-    name = "uniform"
-
-    def __init__(self) -> None:
-        self._constant: float | None = None
-
-    def fit(self, query_function, Q_train, y_train) -> "UniformAnswerEstimator":
-        y_train = np.asarray(y_train, dtype=np.float64).ravel()
-        if y_train.size == 0:
-            raise ValueError("uniform estimator needs a non-empty training workload")
-        self._constant = float(y_train.mean())
-        return self
-
-    def predict(self, Q: np.ndarray) -> np.ndarray:
-        if self._constant is None:
-            raise RuntimeError("UniformAnswerEstimator is not fitted")
-        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
-        return np.full(Q.shape[0], self._constant)
-
-    def predict_one(self, q: np.ndarray) -> float:
-        if self._constant is None:
-            raise RuntimeError("UniformAnswerEstimator is not fitted")
-        return self._constant
-
-    def num_bytes(self) -> int:
-        return 8  # one float64
-
-
 # --------------------------------------------------------------------- registry
 
-#: name -> factory(**build kwargs) -> Estimator
-_FACTORIES: dict[str, Callable[..., Estimator]] = {}
 
-#: alternate spellings accepted by the CLI
-_ALIASES: dict[str, str] = {
-    "ns": "neurosketch",
-    "exact-scan": "exact",
-    "r-tree": "rtree",
-    "tree_agg": "tree-agg",
-    "treeagg": "tree-agg",
-    "verdict": "verdictdb",
-    "mean": "uniform",
-}
-
-
-def register_estimator(name: str, factory: Callable[..., Estimator]) -> None:
-    """Add an estimator factory (used by tests and future engines).
-
-    Names are normalized to lowercase so registration and resolution
-    (which lowercases its input) can never disagree.
-    """
-    key = name.strip().lower()
-    if not key:
-        raise ValueError("estimator name must be non-empty")
-    _FACTORIES[key] = factory
-
-
-def estimator_names() -> tuple[str, ...]:
-    return tuple(_FACTORIES)
-
-
-def resolve_estimator_name(name: str) -> str:
-    key = name.strip().lower()
-    key = _ALIASES.get(key, key)
-    if key not in _FACTORIES:
-        raise KeyError(
-            f"unknown estimator {name!r}; have {estimator_names()} "
-            f"(aliases: {tuple(_ALIASES)})"
-        )
-    return key
-
-
-def build_estimator(
-    name: str,
-    *,
-    seed: int = 0,
-    tree_height: int = 4,
-    n_partitions: int | None = 8,
-    depth: int = 5,
-    width_first: int = 60,
-    width_rest: int = 30,
-    epochs: int = 60,
-    batch_size: int = 256,
-    lr: float = 1e-3,
-    sample_frac: float = 0.1,
-    compile: bool = True,
-) -> Estimator:
-    """Instantiate a registered estimator with experiment-level knobs.
-
-    Factories take only the kwargs they care about; unknown knobs are
-    ignored per estimator, so one config shape drives the whole registry.
-    """
-    key = resolve_estimator_name(name)
-    return _FACTORIES[key](
-        seed=seed,
-        tree_height=tree_height,
-        n_partitions=n_partitions,
-        depth=depth,
-        width_first=width_first,
-        width_rest=width_rest,
-        epochs=epochs,
-        batch_size=batch_size,
-        lr=lr,
-        sample_frac=sample_frac,
-        compile=compile,
-    )
+def _named(estimator: Estimator, name: str) -> Estimator:
+    """Give a registry entry its CLI name (e.g. TreeAgg doubling as rtree)."""
+    estimator.name = name
+    return estimator
 
 
 def _make_neurosketch(**kw) -> Estimator:
@@ -282,21 +197,14 @@ def _make_neurosketch(**kw) -> Estimator:
 
 
 register_estimator("neurosketch", _make_neurosketch)
-register_estimator("exact", lambda **kw: BaselineEstimator(ExactScan(), name="exact"))
+register_estimator("exact", lambda **kw: ExactScan())
 register_estimator(
-    "rtree",
-    lambda **kw: BaselineEstimator(TreeAgg(sample_size=1.0, seed=kw["seed"]), name="rtree"),
+    "rtree", lambda **kw: _named(TreeAgg(sample_size=1.0, seed=kw["seed"]), "rtree")
 )
 register_estimator(
-    "tree-agg",
-    lambda **kw: BaselineEstimator(
-        TreeAgg(sample_size=kw["sample_frac"], seed=kw["seed"]), name="tree-agg"
-    ),
+    "tree-agg", lambda **kw: TreeAgg(sample_size=kw["sample_frac"], seed=kw["seed"])
 )
 register_estimator(
-    "verdictdb",
-    lambda **kw: BaselineEstimator(
-        VerdictLite(sample_size=kw["sample_frac"], seed=kw["seed"]), name="verdictdb"
-    ),
+    "verdictdb", lambda **kw: VerdictLite(sample_size=kw["sample_frac"], seed=kw["seed"])
 )
 register_estimator("uniform", lambda **kw: UniformAnswerEstimator())

@@ -55,6 +55,8 @@ class ExperimentConfig:
     sample_frac: float = 0.1
     # Compiled inference (NeuroSketch): False restores the object path.
     compile: bool = True
+    # Service path (repro.serve): False skips the service timing block.
+    service: bool = True
     # Timing harness.
     n_timing_queries: int = 200
     timing_warmup: int = 20
@@ -132,6 +134,9 @@ class EstimatorResult:
     errors: dict[str, float] = field(default_factory=dict)
     latency: LatencyStats | None = None
     batch: dict[str, float] = field(default_factory=dict)
+    #: Timings through the repro.serve path (micro-batch, answer cache);
+    #: None for estimators the service block does not cover.
+    service: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -142,6 +147,7 @@ class EstimatorResult:
             "errors": dict(self.errors),
             "latency": self.latency.to_dict() if self.latency else None,
             "batch": dict(self.batch),
+            "service": dict(self.service) if self.service is not None else None,
         }
 
 
@@ -158,6 +164,9 @@ class ExperimentResult:
     n_test: int
     uniform_normalized_mae: float
     estimators: list[EstimatorResult]
+    #: Fitted estimator objects by name (not serialized); lets callers save
+    #: a sketch artifact from the run (``repro run --save-sketch``).
+    fitted: dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -181,6 +190,49 @@ class ExperimentResult:
             if e.name == name:
                 return e
         raise KeyError(f"no result for estimator {name!r}")
+
+
+def _time_service(estimator, pred, Q_test, Q_timing, config) -> dict:
+    """Measure the repro.serve path against the raw compiled paths.
+
+    Records micro-batch throughput (cache off, so answers are bitwise-equal
+    to the direct batch ``predict``), uncached per-query latency through a
+    blocking ``ask``, and cached-hit latency after warming the answer cache.
+    """
+    from repro.serve import SketchService
+
+    n = max(int(Q_test.shape[0]), 1)
+    out: dict = {}
+    with SketchService(max_batch_size=n, max_delay_s=0.05, cache=False) as svc:
+        svc.register("bench", estimator)
+        answers = svc.ask_many(Q_test)
+        out["parity_max_abs_diff"] = float(np.max(np.abs(answers - pred)))
+        # Pair the raw-batch and micro-batch measurements so the ratio
+        # compares like with like (the batch block above ran much earlier,
+        # under different cache/clock state).
+        raw = time_batch(estimator.predict, Q_test, repeats=config.timing_repeats)
+        micro = time_batch(svc.ask_many, Q_test, repeats=config.timing_repeats)
+        out["raw_batch_s"] = raw["batch_s"]
+        out["microbatch_s"] = micro["batch_s"]
+        out["microbatch_queries_per_s"] = micro["queries_per_s"]
+        out["microbatch_vs_batch"] = raw["batch_s"] / micro["batch_s"]
+        uncached = time_per_query(
+            svc.ask, Q_timing, warmup=config.timing_warmup, repeats=config.timing_repeats
+        )
+        out["uncached_ask_mean_s"] = uncached.mean_s
+        out["uncached_ask_median_s"] = uncached.median_s
+    with SketchService(max_batch_size=n, max_delay_s=0.05, cache=True) as svc:
+        svc.register("bench", estimator)
+        svc.ask_many(Q_timing)  # warm: every timing query lands in the cache
+        cached = time_per_query(
+            svc.ask, Q_timing, warmup=config.timing_warmup, repeats=config.timing_repeats
+        )
+        out["cached_hit_mean_s"] = cached.mean_s
+        out["cached_hit_median_s"] = cached.median_s
+        out["cache"] = svc.stats()["cache"]
+    if out["cached_hit_mean_s"] > 0:
+        out["cache_hit_speedup"] = out["uncached_ask_mean_s"] / out["cached_hit_mean_s"]
+    return out
 
 
 def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
@@ -212,6 +264,7 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
     Q_timing = Q_test[:n_timing]
 
     results: list[EstimatorResult] = []
+    fitted: dict[str, object] = {}
     for name in config.estimators:
         estimator = build_estimator(
             name,
@@ -271,6 +324,14 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
             batch["speedup_vs_object_batch"] = batch_obj["batch_s"] / batch["batch_s"]
             batch["speedup_vs_object_per_query"] = per_query_total / batch["batch_s"]
 
+        # Service path: micro-batching + answer cache over the same
+        # estimator (compiled sketches only — that is what a server runs).
+        service = None
+        if config.service and getattr(estimator, "compile_enabled", False):
+            say(f"timing {name} service path (micro-batch, answer cache)")
+            service = _time_service(estimator, pred, Q_test, Q_timing, config)
+
+        fitted[name] = estimator
         results.append(
             EstimatorResult(
                 name=name,
@@ -280,6 +341,7 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
                 errors=errors,
                 latency=latency,
                 batch=batch,
+                service=service,
             )
         )
 
@@ -293,4 +355,5 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
         n_test=Q_test.shape[0],
         uniform_normalized_mae=uniform_answer_error(y_train, y_test),
         estimators=results,
+        fitted=fitted,
     )

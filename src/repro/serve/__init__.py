@@ -1,0 +1,21 @@
+"""Query serving: micro-batching, answer caching, async submission.
+
+The compiled engine (:mod:`repro.core.compiled`) makes one process fast;
+this package turns it into a servable system. :class:`SketchService` holds
+a registry of named sketches, accumulates concurrently submitted queries
+into micro-batches for the compiled ``predict`` (size/deadline flush
+triggers), caches answers keyed on quantized query vectors, and exposes
+both async (``submit -> Future``) and blocking (``ask``/``ask_many``)
+submission. ``repro serve`` / ``repro query`` are the CLI front-ends.
+"""
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.cache import AnswerCache
+from repro.serve.service import SketchService, load_sketch
+
+__all__ = [
+    "AnswerCache",
+    "MicroBatcher",
+    "SketchService",
+    "load_sketch",
+]

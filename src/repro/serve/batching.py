@@ -1,0 +1,220 @@
+"""Micro-batching queue: accumulate concurrent queries, flush as one batch.
+
+The compiled engine answers a 500-query batch in roughly the time it
+answers a handful of single queries, so a server should never run
+``predict`` one row at a time. :class:`MicroBatcher` accumulates blocks of
+queries submitted from any thread and flushes them through one batched
+``predict`` call when either trigger fires:
+
+- *size* — the pending row count reaches ``max_batch_size``;
+- *deadline* — ``max_delay_s`` has elapsed since the oldest pending block.
+
+A background worker owns the deadline trigger. Blocking callers don't have
+to wait for it: :meth:`drain` runs the flush in the calling thread, which
+is how :meth:`SketchService.ask`/``ask_many`` get batch-path throughput
+without paying the accumulation delay (the drain still picks up whatever
+other threads have queued — that *is* the micro-batch).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+
+class MicroBatcher:
+    """Accumulates query blocks and flushes them through one ``predict``.
+
+    Parameters
+    ----------
+    predict:
+        ``callable(Q) -> answers`` over a ``(m, d)`` batch; called from the
+        worker thread *or* a draining caller, so it must be thread-safe for
+        batched use (the compiled batch path is; the scalar ``predict_one``
+        scratch-buffer path is not used here).
+    max_batch_size:
+        Pending-row count that triggers an immediate flush.
+    max_delay_s:
+        Longest time a pending block may wait before the worker flushes it;
+        ``0`` flushes as soon as the worker wakes.
+    """
+
+    def __init__(
+        self,
+        predict,
+        max_batch_size: int = 64,
+        max_delay_s: float = 2e-3,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be >= 0")
+        self._predict = predict
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay_s = float(max_delay_s)
+
+        self._cond = threading.Condition()
+        self._pending: list[tuple[np.ndarray, Future, bool]] = []
+        self._pending_rows = 0
+        self._closed = False
+        # Flush accounting (read via stats(); guarded by _cond's lock).
+        self.n_flushes = 0
+        self.n_rows_flushed = 0
+        self.max_flush_rows = 0
+
+        # The worker only serves async submit(); blocking callers flush via
+        # run()/drain() themselves, so the thread starts lazily on the first
+        # submit and purely-blocking users stay thread-free.
+        self._worker: threading.Thread | None = None
+
+    # ---------------------------------------------------------------- submit
+
+    def submit(self, Q_block: np.ndarray, scalar: bool = False) -> Future:
+        """Enqueue a block of queries; the Future resolves to its answers.
+
+        ``scalar=True`` marks a single-query block whose Future resolves to
+        a plain ``float`` instead of a 1-element array.
+        """
+        Q_block = np.atleast_2d(np.asarray(Q_block, dtype=np.float64))
+        if Q_block.shape[0] == 0:
+            fut: Future = Future()
+            fut.set_result(np.empty(0, dtype=np.float64))
+            return fut
+        fut = Future()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            if self._worker is None:
+                self._worker = threading.Thread(
+                    target=self._worker_loop, name="repro-microbatcher", daemon=True
+                )
+                self._worker.start()
+            self._pending.append((Q_block, fut, bool(scalar)))
+            self._pending_rows += Q_block.shape[0]
+            self._cond.notify_all()
+        return fut
+
+    def drain(self) -> int:
+        """Flush everything pending in the *calling* thread.
+
+        Returns the number of rows flushed (0 when nothing was pending).
+        Blocking callers use this to skip the accumulation deadline while
+        still sweeping up concurrently queued work.
+        """
+        with self._cond:
+            batch = self._take_pending_locked()
+        return self._flush(batch)
+
+    def run(self, Q_block: np.ndarray) -> np.ndarray:
+        """Answer ``Q_block`` now, batched with anything already pending.
+
+        The caller-runs path behind blocking ``ask``/``ask_many``: the
+        pending queue is swept into this flush (their Futures resolve as
+        usual) but the caller's own rows skip the Future machinery and the
+        worker-thread handoff entirely, so a lone caller pays only a lock
+        acquire over the raw ``predict`` — and the sketch still sees one
+        concatenated micro-batch under concurrency.
+        """
+        Q_block = np.atleast_2d(np.asarray(Q_block, dtype=np.float64))
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            batch = self._take_pending_locked()
+        if not batch:
+            answers = np.asarray(self._predict(Q_block), dtype=np.float64).ravel()
+            with self._cond:
+                self.n_flushes += 1
+                self.n_rows_flushed += Q_block.shape[0]
+                self.max_flush_rows = max(self.max_flush_rows, Q_block.shape[0])
+            return answers
+        own: Future = Future()
+        batch.append((Q_block, own, False))
+        self._flush(batch)
+        return own.result()
+
+    # ---------------------------------------------------------------- worker
+
+    def _take_pending_locked(self) -> list[tuple[np.ndarray, Future, bool]]:
+        batch = self._pending
+        self._pending = []
+        self._pending_rows = 0
+        return batch
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._pending:
+                    return
+                # Accumulation window: wait for more work until the size or
+                # deadline trigger fires (a drain may empty the queue under
+                # us, in which case loop back to idle).
+                deadline = time.monotonic() + self.max_delay_s
+                while self._pending and self._pending_rows < self.max_batch_size:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or self._closed:
+                        break
+                    self._cond.wait(remaining)
+                batch = self._take_pending_locked()
+            self._flush(batch)
+
+    def _flush(self, batch: list[tuple[np.ndarray, Future, bool]]) -> int:
+        if not batch:
+            return 0
+        # A caller may have cancelled its Future while it sat in the queue;
+        # setting a result on a cancelled Future raises InvalidStateError,
+        # which would kill the worker thread. Claim each Future first and
+        # drop the cancelled ones (their rows still run — answers are
+        # positional within the concatenated batch).
+        live = [fut.set_running_or_notify_cancel() for _, fut, _ in batch]
+        blocks = [block for block, _, _ in batch]
+        Q = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
+        try:
+            answers = np.asarray(self._predict(Q), dtype=np.float64).ravel()
+        except Exception as exc:  # propagate to every waiting Future
+            for ok, (_, fut, _) in zip(live, batch):
+                if ok:
+                    fut.set_exception(exc)
+            return Q.shape[0]
+        with self._cond:
+            self.n_flushes += 1
+            self.n_rows_flushed += Q.shape[0]
+            self.max_flush_rows = max(self.max_flush_rows, Q.shape[0])
+        start = 0
+        for ok, (block, fut, scalar) in zip(live, batch):
+            part = answers[start : start + block.shape[0]]
+            start += block.shape[0]
+            if ok:
+                fut.set_result(float(part[0]) if scalar else part)
+        return Q.shape[0]
+
+    # ----------------------------------------------------------------- close
+
+    def close(self) -> None:
+        """Flush what's pending and stop the worker (idempotent)."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            worker = self._worker
+            self._cond.notify_all()
+        if worker is not None:
+            worker.join(timeout=5.0)
+        with self._cond:
+            batch = self._take_pending_locked()
+        self._flush(batch)  # anything enqueued between the notify and the join
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "n_flushes": self.n_flushes,
+                "n_rows_flushed": self.n_rows_flushed,
+                "max_flush_rows": self.max_flush_rows,
+                "pending_rows": self._pending_rows,
+                "max_batch_size": self.max_batch_size,
+                "max_delay_s": self.max_delay_s,
+            }

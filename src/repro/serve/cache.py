@@ -1,0 +1,105 @@
+"""Answer cache keyed on quantized query vectors.
+
+Range aggregate answers are smooth in the query vector (that is what makes
+NeuroSketch work), so two queries that agree to within a small grid step get
+the same cached answer. The cache key is the query snapped to a uniform
+grid of configurable ``resolution``; ``exact=True`` bypasses quantization
+and keys on the raw float64 bytes instead, so only bit-identical repeats
+hit. Entries are LRU-bounded and all operations are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+_MISS = object()
+
+
+class AnswerCache:
+    """LRU cache from (quantized) query vectors to answers.
+
+    Parameters
+    ----------
+    resolution:
+        Grid step used to quantize queries into keys. Queries that round to
+        the same grid cell share an answer; larger values trade accuracy
+        for hit rate.
+    max_entries:
+        LRU bound; the least recently used entry is evicted first.
+    exact:
+        Bypass quantization: keys are the raw float64 bytes, so only
+        bit-identical queries hit (no quantization error, lower hit rate).
+    """
+
+    def __init__(
+        self,
+        resolution: float = 1e-4,
+        max_entries: int = 65_536,
+        exact: bool = False,
+    ) -> None:
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.resolution = float(resolution)
+        self.max_entries = int(max_entries)
+        self.exact = bool(exact)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._data: OrderedDict[bytes, float] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def key(self, q: np.ndarray, namespace: bytes = b"") -> bytes:
+        """The cache key of a query vector.
+
+        ``namespace`` partitions a cache shared between sketches: the same
+        query against different sketches has different answers, so the
+        serving layer prefixes keys with the sketch name.
+        """
+        q = np.asarray(q, dtype=np.float64).ravel()
+        if self.exact:
+            return namespace + q.tobytes()
+        return namespace + np.round(q / self.resolution).astype(np.int64).tobytes()
+
+    def get(self, q: np.ndarray, namespace: bytes = b"") -> float | None:
+        """Cached answer, or ``None`` on a miss (counts either way)."""
+        key = self.key(q, namespace)
+        with self._lock:
+            value = self._data.get(key, _MISS)
+            if value is _MISS:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, q: np.ndarray, answer: float, namespace: bytes = b"") -> None:
+        key = self.key(q, namespace)
+        with self._lock:
+            self._data[key] = float(answer)
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "resolution": self.resolution,
+                "exact": self.exact,
+                "max_entries": self.max_entries,
+            }

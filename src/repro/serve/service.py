@@ -1,0 +1,276 @@
+"""`SketchService`: named sketches behind micro-batching + an answer cache.
+
+The façade a server embeds (and what ``repro serve`` runs):
+
+- a registry of named sketches — anything with a batched ``predict``:
+  a :class:`~repro.core.compiled.CompiledSketch`, a fitted
+  :class:`~repro.core.neurosketch.NeuroSketch`, or any
+  :class:`repro.api.Estimator`;
+- per-sketch micro-batching (:class:`~repro.serve.batching.MicroBatcher`):
+  concurrently submitted queries flush through one compiled ``predict`` on
+  a size/deadline trigger;
+- a per-sketch answer cache (:class:`~repro.serve.cache.AnswerCache`)
+  keyed on quantized query vectors, consulted synchronously at submit time;
+- async submission: :meth:`submit` returns a
+  :class:`concurrent.futures.Future`, with :meth:`ask`/:meth:`ask_many` as
+  the blocking convenience layer.
+
+With the cache disabled, :meth:`ask_many` hands the *exact* query array to
+the sketch's ``predict`` in one flush, so its answers are bitwise-equal to
+the direct batch path (``tests/test_serve.py`` asserts this).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.cache import AnswerCache
+
+
+def load_sketch(path: str):
+    """Load a saved sketch artifact into its servable form.
+
+    Accepts both artifact formats and always returns an object with a
+    batched ``predict``: a ``compiled-sketch-v1`` payload loads straight
+    into :class:`~repro.core.compiled.CompiledSketch`; a ``NeuroSketch``
+    payload is loaded and compiled.
+    """
+    from repro.core.compiled import CompiledSketch
+    from repro.core.neurosketch import NeuroSketch
+
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        state = json.load(fh)
+    if not isinstance(state, dict):
+        raise ValueError(f"{path!r} is not a sketch artifact")
+    if state.get("format") == "compiled-sketch-v1":
+        return CompiledSketch.from_dict(state)
+    if "tree" in state and "models" in state:
+        return NeuroSketch.from_dict(state).compile()
+    raise ValueError(f"{path!r} is not a recognized sketch artifact")
+
+
+class _Entry:
+    """One registered sketch with its batcher and cache.
+
+    ``cache_ns`` namespaces keys when the cache object is shared between
+    sketches (the same query has different answers per sketch); a private
+    per-sketch cache uses the empty namespace.
+    """
+
+    __slots__ = ("name", "sketch", "batcher", "cache", "cache_ns")
+
+    def __init__(
+        self,
+        name: str,
+        sketch,
+        batcher: MicroBatcher,
+        cache: AnswerCache | None,
+        cache_ns: bytes = b"",
+    ):
+        self.name = name
+        self.sketch = sketch
+        self.batcher = batcher
+        self.cache = cache
+        self.cache_ns = cache_ns
+
+
+class SketchService:
+    """Serve one or more named sketches (dataset × aggregate) concurrently.
+
+    Parameters
+    ----------
+    max_batch_size, max_delay_s:
+        Micro-batching triggers (see :class:`MicroBatcher`).
+    cache:
+        ``True`` (default) gives every registered sketch its own
+        :class:`AnswerCache`; ``False`` disables caching; an
+        :class:`AnswerCache` instance is used as-is for every sketch
+        registered afterwards.
+    cache_resolution, cache_entries, cache_exact:
+        Knobs for the per-sketch caches built when ``cache=True``.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int = 64,
+        max_delay_s: float = 2e-3,
+        cache: bool | AnswerCache = True,
+        cache_resolution: float = 1e-4,
+        cache_entries: int = 65_536,
+        cache_exact: bool = False,
+    ) -> None:
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay_s = float(max_delay_s)
+        self._cache_spec = cache
+        self._cache_resolution = float(cache_resolution)
+        self._cache_entries = int(cache_entries)
+        self._cache_exact = bool(cache_exact)
+        self._entries: dict[str, _Entry] = {}
+        self._default: str | None = None
+        self._closed = False
+
+    # -------------------------------------------------------------- registry
+
+    def register(self, name: str, sketch, default: bool = False) -> None:
+        """Add a named sketch (anything with a batched ``predict``).
+
+        The first registered sketch becomes the default target for
+        ``ask``/``submit`` calls that don't name one; ``default=True``
+        reassigns that role.
+        """
+        if self._closed:
+            raise RuntimeError("SketchService is closed")
+        key = name.strip().lower()
+        if not key:
+            raise ValueError("sketch name must be non-empty")
+        if key in self._entries:
+            raise ValueError(f"sketch {key!r} is already registered")
+        if not callable(getattr(sketch, "predict", None)):
+            raise TypeError(f"sketch {key!r} has no predict(Q) method")
+        cache_ns = b""
+        if self._cache_spec is False or self._cache_spec is None:
+            cache = None
+        elif isinstance(self._cache_spec, AnswerCache):
+            cache = self._cache_spec
+            cache_ns = key.encode() + b"\x00"  # shared cache: partition by name
+        else:
+            cache = AnswerCache(
+                resolution=self._cache_resolution,
+                max_entries=self._cache_entries,
+                exact=self._cache_exact,
+            )
+        batcher = MicroBatcher(
+            sketch.predict,
+            max_batch_size=self.max_batch_size,
+            max_delay_s=self.max_delay_s,
+        )
+        self._entries[key] = _Entry(key, sketch, batcher, cache, cache_ns)
+        if default or self._default is None:
+            self._default = key
+
+    def sketch_names(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+    def _entry(self, sketch: str | None) -> _Entry:
+        if self._closed:
+            raise RuntimeError("SketchService is closed")
+        if sketch is None:
+            if self._default is None:
+                raise RuntimeError("no sketch registered")
+            return self._entries[self._default]
+        key = sketch.strip().lower()
+        if key not in self._entries:
+            raise KeyError(f"unknown sketch {sketch!r}; have {self.sketch_names()}")
+        return self._entries[key]
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, q: np.ndarray, sketch: str | None = None) -> Future:
+        """Async single query: returns a Future resolving to the answer.
+
+        The answer cache is consulted synchronously — a hit returns an
+        already-resolved Future without touching the queue; a miss enqueues
+        the query and populates the cache when the micro-batch flushes.
+        """
+        entry = self._entry(sketch)
+        q = np.asarray(q, dtype=np.float64).ravel()
+        if entry.cache is not None:
+            cached = entry.cache.get(q, entry.cache_ns)
+            if cached is not None:
+                fut: Future = Future()
+                fut.set_result(cached)
+                return fut
+        fut = entry.batcher.submit(q[None, :], scalar=True)
+        if entry.cache is not None:
+
+            def _store(done: Future, _q=q, _entry=entry) -> None:
+                if not done.cancelled() and done.exception() is None:
+                    _entry.cache.put(_q, done.result(), _entry.cache_ns)
+
+            fut.add_done_callback(_store)
+        return fut
+
+    def ask(self, q: np.ndarray, sketch: str | None = None) -> float:
+        """Blocking single query.
+
+        Runs the flush in the calling thread (sweeping up any concurrently
+        submitted queries), so a lone blocking caller never waits out the
+        accumulation deadline and pays no Future overhead.
+        """
+        entry = self._entry(sketch)
+        q = np.asarray(q, dtype=np.float64).ravel()
+        if entry.cache is not None:
+            cached = entry.cache.get(q, entry.cache_ns)
+            if cached is not None:
+                return cached
+        answer = float(entry.batcher.run(q[None, :])[0])
+        if entry.cache is not None:
+            entry.cache.put(q, answer, entry.cache_ns)
+        return answer
+
+    def ask_many(self, Q: np.ndarray, sketch: str | None = None) -> np.ndarray:
+        """Blocking batch: answers in input order, shape ``(m,)``.
+
+        Cached rows are answered from the cache; the remaining rows go
+        through the micro-batch queue as one block (so with the cache
+        disabled the sketch's ``predict`` sees exactly ``Q`` and the
+        answers are bitwise-identical to the direct batch path).
+        """
+        entry = self._entry(sketch)
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        m = Q.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.float64)
+        if entry.cache is None:
+            return entry.batcher.run(Q)
+
+        out = np.empty(m, dtype=np.float64)
+        miss_rows: list[int] = []
+        for i in range(m):
+            cached = entry.cache.get(Q[i], entry.cache_ns)
+            if cached is None:
+                miss_rows.append(i)
+            else:
+                out[i] = cached
+        if miss_rows:
+            misses = np.asarray(miss_rows, dtype=np.intp)
+            answers = entry.batcher.run(Q[misses])
+            out[misses] = answers
+            for i, row in enumerate(miss_rows):
+                entry.cache.put(Q[row], answers[i], entry.cache_ns)
+        return out
+
+    # ------------------------------------------------------------- lifecycle
+
+    def flush(self) -> None:
+        """Flush every sketch's pending micro-batch in the calling thread."""
+        for entry in self._entries.values():
+            entry.batcher.drain()
+
+    def stats(self, sketch: str | None = None) -> dict:
+        """Batcher + cache counters for one sketch (or the default)."""
+        entry = self._entry(sketch)
+        return {
+            "sketch": entry.name,
+            "batcher": entry.batcher.stats(),
+            "cache": entry.cache.stats() if entry.cache is not None else None,
+        }
+
+    def close(self) -> None:
+        """Stop every batcher worker (idempotent; pending work is flushed)."""
+        if self._closed:
+            return
+        self._closed = True
+        for entry in self._entries.values():
+            entry.batcher.close()
+
+    def __enter__(self) -> "SketchService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.baselines import ExactScan, RTree, TreeAgg, VerdictLite
+from repro.baselines import ExactScan, RTree, TreeAgg, UniformAnswerEstimator, VerdictLite
 from repro.data import load_dataset
-from repro.eval.adapters import BaselineEstimator, UniformAnswerEstimator
 from repro.queries import QueryFunction, WorkloadGenerator
 
 
@@ -19,7 +18,7 @@ def problem():
 
 def test_exact_scan_is_ground_truth(problem):
     qf, Q, y = problem
-    est = BaselineEstimator(ExactScan(), name="exact").fit(qf, Q, y)
+    est = ExactScan().fit(qf, Q, y)
     np.testing.assert_allclose(est.predict(Q), y)
     assert est.num_bytes() == qf.dataset.size_bytes()
 
@@ -37,13 +36,13 @@ def test_rtree_box_query_matches_linear_scan():
 
 def test_tree_agg_full_sample_is_exact(problem):
     qf, Q, y = problem
-    est = BaselineEstimator(TreeAgg(sample_size=1.0, seed=0), name="rtree").fit(qf, Q, y)
+    est = TreeAgg(sample_size=1.0, seed=0).fit(qf, Q, y)
     np.testing.assert_allclose(est.predict(Q), y, rtol=1e-9, atol=1e-9)
 
 
 def test_tree_agg_subsample_approximates(problem):
     qf, Q, y = problem
-    est = BaselineEstimator(TreeAgg(sample_size=0.5, seed=0)).fit(qf, Q, y)
+    est = TreeAgg(sample_size=0.5, seed=0).fit(qf, Q, y)
     pred = est.predict(Q)
     assert pred.shape == y.shape
     assert np.all(np.isfinite(pred))

@@ -182,3 +182,151 @@ def test_compare_malformed_bench_exits_with_clean_error(tmp_path, capsys):
     assert rc == 2
     err = capsys.readouterr().err
     assert "schema" in err and "Traceback" not in err
+
+
+GOLDEN_SKETCH = str(
+    __import__("pathlib").Path(__file__).resolve().parent / "data" / "golden_sketch.json.gz"
+)
+
+
+def test_query_one_shot_against_saved_sketch(capsys):
+    rc = main(["query", "--sketch", GOLDEN_SKETCH, "0.1,0.2,0.3,0.4"])
+    assert rc == 0
+    answer = float(capsys.readouterr().out.strip())
+    from repro.serve import load_sketch
+
+    sketch = load_sketch(GOLDEN_SKETCH)
+    import numpy as np
+
+    assert answer == float(sketch.predict(np.array([[0.1, 0.2, 0.3, 0.4]]))[0])
+
+
+def test_query_rejects_non_numeric_vector(capsys):
+    rc = main(["query", "--sketch", GOLDEN_SKETCH, "a,b"])
+    assert rc == 2
+    assert "must be numbers" in capsys.readouterr().err
+
+
+def test_query_missing_sketch_exits_with_clean_error(capsys):
+    rc = main(["query", "--sketch", "/tmp/definitely-not-a-sketch.json.gz", "0.1"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "error" in err and "Traceback" not in err
+
+
+def test_serve_round_trips_json_lines(capsys, monkeypatch):
+    import io
+
+    lines = [
+        json.dumps({"id": 0, "q": [0.1, 0.2, 0.3, 0.4]}),
+        json.dumps([0.5, 0.6, 0.7, 0.8]),
+        json.dumps({"id": 2, "q": [0.1, 0.2, 0.3, 0.4]}),  # repeat -> cache hit
+        "this is not json",
+    ]
+    monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+    rc = main(["serve", "--sketch", GOLDEN_SKETCH])
+    assert rc == 0
+    out = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+    assert len(out) == 4
+    assert out[0]["id"] == 0 and out[0]["cached"] is False
+    assert out[2]["id"] == 2 and out[2]["cached"] is True
+    assert out[2]["answer"] == out[0]["answer"]
+    assert "error" in out[3]
+    # Serve answers match the one-shot query path exactly.
+    capsys.readouterr()
+    assert main(["query", "--sketch", GOLDEN_SKETCH, "0.5", "0.6", "0.7", "0.8"]) == 0
+    assert float(capsys.readouterr().out.strip()) == out[1]["answer"]
+
+
+def test_serve_no_cache_never_reports_cached(capsys, monkeypatch):
+    import io
+
+    line = json.dumps([0.1, 0.2, 0.3, 0.4])
+    monkeypatch.setattr("sys.stdin", io.StringIO(line + "\n" + line + "\n"))
+    rc = main(["serve", "--sketch", GOLDEN_SKETCH, "--no-cache"])
+    assert rc == 0
+    out = [json.loads(x) for x in capsys.readouterr().out.strip().splitlines()]
+    assert [o["cached"] for o in out] == [False, False]
+    assert out[0]["answer"] == out[1]["answer"]
+
+
+def test_run_save_sketch_writes_servable_artifact(tmp_path):
+    sketch_path = tmp_path / "fast-sketch.json.gz"
+    rc = main(
+        [
+            "run",
+            "--dataset", "synthetic",
+            "--estimators", "neurosketch",
+            "--fast",
+            "--n-rows", "400",
+            "--n-train", "60",
+            "--n-test", "20",
+            "--quiet",
+            "--no-bench",
+            "--save-sketch", str(sketch_path),
+        ]
+    )
+    assert rc == 0
+    assert sketch_path.exists()
+    from repro.serve import load_sketch
+
+    sketch = load_sketch(str(sketch_path))
+    import numpy as np
+
+    answers = sketch.predict(np.full((3, sketch.input_dim), 0.5))
+    assert answers.shape == (3,) and np.all(np.isfinite(answers))
+
+
+def test_run_save_sketch_requires_neurosketch(tmp_path, capsys):
+    rc = main(
+        [
+            "run",
+            "--dataset", "synthetic",
+            "--estimators", "uniform",
+            "--fast",
+            "--n-rows", "400",
+            "--n-train", "60",
+            "--n-test", "20",
+            "--quiet",
+            "--no-bench",
+            "--save-sketch", str(tmp_path / "nope.json.gz"),
+        ]
+    )
+    assert rc == 2
+    assert "neurosketch" in capsys.readouterr().err
+
+
+def test_serve_bad_knobs_exit_with_clean_error(capsys):
+    rc = main(["serve", "--sketch", GOLDEN_SKETCH, "--cache-resolution", "0"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "resolution" in err and "Traceback" not in err
+    rc = main(["serve", "--sketch", GOLDEN_SKETCH, "--max-batch", "0"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "max_batch_size" in err and "Traceback" not in err
+
+
+def test_truncated_sketch_exits_with_clean_error(tmp_path, capsys):
+    import pathlib
+
+    bad = tmp_path / "bad.json.gz"
+    bad.write_bytes(pathlib.Path(GOLDEN_SKETCH).read_bytes()[:100])
+    rc = main(["query", "--sketch", str(bad), "0.1,0.2,0.3,0.4"])
+    assert rc == 2
+    assert "Traceback" not in capsys.readouterr().err
+    rc = main(["serve", "--sketch", str(bad)])
+    assert rc == 2
+    assert "Traceback" not in capsys.readouterr().err
+
+
+def test_serve_nan_query_yields_error_line_not_invalid_json(capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO('{"q": [null, null, null, null]}\n'))
+    rc = main(["serve", "--sketch", GOLDEN_SKETCH])
+    assert rc == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 1
+    payload = json.loads(lines[0])  # strict-parsable, so not bare NaN
+    assert "error" in payload

@@ -197,3 +197,45 @@ def test_time_per_query_counts_each_query():
     stats = time_per_query(answer_one, Q, warmup=3, repeats=2)
     assert stats.n_queries == 5
     assert len(calls) == 3 + 5 * 2
+
+
+def test_service_block_recorded_for_neurosketch(tiny_result):
+    svc = tiny_result.estimator("neurosketch").service
+    assert svc is not None
+    # With the cache disabled the service path is bitwise-identical.
+    assert svc["parity_max_abs_diff"] == 0.0
+    assert svc["microbatch_s"] > 0.0 and svc["raw_batch_s"] > 0.0
+    assert svc["microbatch_vs_batch"] > 0.0
+    # A cache hit skips predict entirely; it must beat the uncached ask.
+    assert svc["cached_hit_mean_s"] < svc["uncached_ask_mean_s"]
+    assert svc["cache"]["hits"] > 0
+    # Baselines are not served through the sketch service.
+    assert tiny_result.estimator("exact").service is None
+    assert tiny_result.estimator("uniform").service is None
+
+
+def test_service_block_serializes_into_bench_json(tiny_result, tmp_path):
+    path = write_bench_json(tiny_result, "svc", tmp_path)
+    payload = load_bench_json(path)
+    ns = next(e for e in payload["estimators"] if e["name"] == "neurosketch")
+    assert ns["service"]["parity_max_abs_diff"] == 0.0
+    uniform = next(e for e in payload["estimators"] if e["name"] == "uniform")
+    assert uniform["service"] is None
+
+
+def test_service_block_skipped_without_compile_or_service():
+    config = ExperimentConfig(
+        dataset="synthetic",
+        estimators=("neurosketch",),
+        fast=True,
+        n_rows=400,
+        n_train=60,
+        n_test=20,
+        n_timing_queries=5,
+        timing_warmup=1,
+        timing_repeats=1,
+        service=False,
+    )
+    result = run_experiment(config)
+    assert result.estimator("neurosketch").service is None
+    assert "neurosketch" in result.fitted

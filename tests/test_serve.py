@@ -1,0 +1,322 @@
+"""The serving layer: answer cache, micro-batching, SketchService."""
+
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.compiled import CompiledSketch
+from repro.core.neurosketch import NeuroSketch
+from repro.serve import AnswerCache, MicroBatcher, SketchService, load_sketch
+
+DATA = Path(__file__).resolve().parent / "data"
+
+
+class SumSketch:
+    """Deterministic fake sketch: answer = sum of query components."""
+
+    def predict(self, Q):
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        return Q.sum(axis=1)
+
+
+# ----------------------------------------------------------------- AnswerCache
+
+
+def test_cache_hit_returns_cached_answer_within_quantization():
+    cache = AnswerCache(resolution=0.01)
+    q = np.array([0.5, 0.5])
+    cache.put(q, 1.0)
+    # Same grid cell: a hit, and it returns the *cached* answer even though
+    # the true answer for the perturbed query would differ.
+    assert cache.get(q + 0.001) == 1.0
+    # A near-miss one grid step away must not hit.
+    assert cache.get(q + 0.02) is None
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cache_exact_mode_bypasses_quantization():
+    cache = AnswerCache(resolution=0.01, exact=True)
+    q = np.array([0.5, 0.5])
+    cache.put(q, 1.0)
+    assert cache.get(q) == 1.0
+    assert cache.get(q + 0.001) is None  # would hit under quantization
+
+
+def test_cache_is_lru_bounded():
+    cache = AnswerCache(resolution=0.01, max_entries=2)
+    q1, q2, q3 = np.array([1.0]), np.array([2.0]), np.array([3.0])
+    cache.put(q1, 1.0)
+    cache.put(q2, 2.0)
+    assert cache.get(q1) == 1.0  # refresh q1 -> q2 becomes LRU
+    cache.put(q3, 3.0)
+    assert len(cache) == 2
+    assert cache.get(q2) is None  # evicted
+    assert cache.get(q1) == 1.0 and cache.get(q3) == 3.0
+
+
+def test_cache_rejects_bad_knobs():
+    with pytest.raises(ValueError):
+        AnswerCache(resolution=0.0)
+    with pytest.raises(ValueError):
+        AnswerCache(max_entries=0)
+
+
+# ---------------------------------------------------------------- MicroBatcher
+
+
+def test_microbatcher_flushes_on_size_trigger():
+    batcher = MicroBatcher(SumSketch().predict, max_batch_size=3, max_delay_s=30.0)
+    try:
+        t0 = time.perf_counter()
+        futs = [batcher.submit(np.array([[float(i), 1.0]]), scalar=True) for i in range(3)]
+        results = [f.result(timeout=5.0) for f in futs]
+        elapsed = time.perf_counter() - t0
+        # The 30s deadline never fired; the size trigger did.
+        assert elapsed < 5.0
+        assert results == [1.0, 2.0, 3.0]
+        assert batcher.stats()["max_flush_rows"] == 3
+    finally:
+        batcher.close()
+
+
+def test_microbatcher_flushes_on_deadline_trigger():
+    batcher = MicroBatcher(SumSketch().predict, max_batch_size=100, max_delay_s=0.02)
+    try:
+        fut = batcher.submit(np.array([[2.0, 3.0]]), scalar=True)
+        # One row << max_batch_size: only the deadline can flush it.
+        assert fut.result(timeout=5.0) == 5.0
+        stats = batcher.stats()
+        assert stats["n_flushes"] == 1 and stats["n_rows_flushed"] == 1
+    finally:
+        batcher.close()
+
+
+def test_microbatcher_propagates_predict_errors():
+    def boom(Q):
+        raise RuntimeError("kaboom")
+
+    batcher = MicroBatcher(boom, max_batch_size=1, max_delay_s=0.01)
+    try:
+        fut = batcher.submit(np.array([[1.0]]))
+        with pytest.raises(RuntimeError, match="kaboom"):
+            fut.result(timeout=5.0)
+    finally:
+        batcher.close()
+
+
+def test_microbatcher_close_flushes_pending_and_is_idempotent():
+    batcher = MicroBatcher(SumSketch().predict, max_batch_size=100, max_delay_s=30.0)
+    fut = batcher.submit(np.array([[1.0, 1.0]]), scalar=True)
+    batcher.close()
+    assert fut.result(timeout=1.0) == 2.0
+    batcher.close()  # second close is a no-op
+    with pytest.raises(RuntimeError):
+        batcher.submit(np.array([[1.0, 1.0]]))
+
+
+def test_microbatcher_run_sweeps_pending_queue():
+    batcher = MicroBatcher(SumSketch().predict, max_batch_size=100, max_delay_s=30.0)
+    try:
+        fut = batcher.submit(np.array([[1.0, 2.0]]), scalar=True)
+        answers = batcher.run(np.array([[10.0, 20.0]]))
+        # One flush answered both the queued row and the caller's row.
+        assert answers.tolist() == [30.0]
+        assert fut.result(timeout=1.0) == 3.0
+        assert batcher.stats()["n_flushes"] == 1
+    finally:
+        batcher.close()
+
+
+# ---------------------------------------------------------------- SketchService
+
+
+def test_service_cache_hit_and_near_miss_semantics():
+    with SketchService(cache=True, cache_resolution=0.01, max_delay_s=0.001) as svc:
+        svc.register("sum", SumSketch())
+        q = np.array([0.5, 0.5])
+        first = svc.ask(q)
+        assert first == pytest.approx(1.0)
+        # Within the grid cell: the *cached* answer comes back, not the
+        # perturbed query's true sum.
+        assert svc.ask(q + 0.001) == first
+        # One grid step away: a miss, answered by the sketch.
+        assert svc.ask(q + 0.02) == pytest.approx(1.04)
+        cache = svc.stats()["cache"]
+        assert cache["hits"] == 1 and cache["misses"] == 2
+
+
+def test_service_exact_cache_knob():
+    with SketchService(cache=True, cache_resolution=0.01, cache_exact=True) as svc:
+        svc.register("sum", SumSketch())
+        q = np.array([0.5, 0.5])
+        svc.ask(q)
+        assert svc.ask(q + 0.001) == pytest.approx(1.002)  # no quantized hit
+        assert svc.stats()["cache"]["hits"] == 0
+
+
+def test_service_ask_many_uses_cache_for_repeats():
+    with SketchService(cache=True, cache_resolution=1e-6) as svc:
+        svc.register("sum", SumSketch())
+        Q = np.array([[1.0, 1.0], [2.0, 2.0]])
+        np.testing.assert_allclose(svc.ask_many(Q), [2.0, 4.0])
+        np.testing.assert_allclose(svc.ask_many(Q), [2.0, 4.0])
+        cache = svc.stats()["cache"]
+        assert cache["hits"] == 2 and cache["misses"] == 2
+
+
+def test_service_submit_ordering_under_concurrent_callers():
+    with SketchService(cache=False, max_batch_size=8, max_delay_s=0.002) as svc:
+        svc.register("sum", SumSketch())
+        results: dict[int, list] = {}
+
+        def worker(tid: int) -> None:
+            local = np.random.default_rng(tid).uniform(0.0, 1.0, size=(25, 3))
+            futs = [(q, svc.submit(q)) for q in local]
+            results[tid] = [(q, f.result(timeout=10.0)) for q, f in futs]
+
+        threads = [threading.Thread(target=worker, args=(tid,)) for tid in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every future resolved to *its own* query's answer, regardless of
+        # how submissions interleaved into micro-batches.
+        assert sorted(results) == list(range(6))
+        for tid, pairs in results.items():
+            for q, got in pairs:
+                assert got == pytest.approx(q.sum()), tid
+        batcher = svc.stats()["batcher"]
+        assert batcher["n_rows_flushed"] == 6 * 25
+        # Micro-batching actually batched: fewer flushes than queries.
+        assert batcher["n_flushes"] < 6 * 25
+
+
+def test_service_registry_errors():
+    svc = SketchService()
+    with pytest.raises(RuntimeError, match="no sketch registered"):
+        svc.ask(np.array([1.0]))
+    svc.register("sum", SumSketch())
+    with pytest.raises(ValueError, match="already registered"):
+        svc.register("sum", SumSketch())
+    with pytest.raises(TypeError, match="predict"):
+        svc.register("bogus", object())
+    with pytest.raises(KeyError, match="unknown sketch"):
+        svc.ask(np.array([1.0]), sketch="nope")
+    svc.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        svc.ask(np.array([1.0]))
+
+
+def test_service_routes_by_sketch_name():
+    class NegSketch:
+        def predict(self, Q):
+            return -np.atleast_2d(np.asarray(Q, dtype=np.float64)).sum(axis=1)
+
+    with SketchService(cache=False) as svc:
+        svc.register("sum", SumSketch())
+        svc.register("neg", NegSketch())
+        q = np.array([1.0, 2.0])
+        assert svc.ask(q, sketch="sum") == pytest.approx(3.0)
+        assert svc.ask(q, sketch="neg") == pytest.approx(-3.0)
+        assert svc.ask(q) == pytest.approx(3.0)  # first registered is default
+        assert svc.sketch_names() == ("sum", "neg")
+
+
+# ------------------------------------------------- real sketches, parity, I/O
+
+
+@pytest.fixture(scope="module")
+def golden_compiled():
+    return load_sketch(str(DATA / "golden_sketch.json.gz"))
+
+
+def test_load_sketch_accepts_both_artifact_formats(tmp_path, golden_compiled):
+    # The golden artifact is a NeuroSketch payload; load_sketch compiled it.
+    assert isinstance(golden_compiled, CompiledSketch)
+    # A compiled payload loads as-is.
+    path = str(tmp_path / "compiled.json.gz")
+    golden_compiled.save(path)
+    again = load_sketch(path)
+    assert isinstance(again, CompiledSketch)
+    rng = np.random.default_rng(0)
+    Q = rng.uniform(0.0, 1.0, size=(16, golden_compiled.input_dim))
+    np.testing.assert_array_equal(again.predict(Q), golden_compiled.predict(Q))
+
+
+def test_load_sketch_rejects_foreign_payloads(tmp_path):
+    import gzip
+    import json
+
+    path = tmp_path / "foreign.json.gz"
+    with gzip.open(path, "wt", encoding="utf-8") as fh:
+        json.dump({"hello": "world"}, fh)
+    with pytest.raises(ValueError, match="not a recognized sketch artifact"):
+        load_sketch(str(path))
+
+
+def test_service_matches_direct_predict_bitwise_when_cache_disabled(golden_compiled):
+    rng = np.random.default_rng(1)
+    Q = rng.uniform(0.0, 1.0, size=(64, golden_compiled.input_dim))
+    direct = golden_compiled.predict(Q)
+    with SketchService(cache=False, max_batch_size=64, max_delay_s=0.05) as svc:
+        svc.register("golden", golden_compiled)
+        via_service = svc.ask_many(Q)
+    # Bitwise equality: the service hands the sketch the exact same array.
+    assert np.array_equal(via_service, direct)
+    assert via_service.tobytes() == direct.tobytes()
+
+
+def test_service_serves_a_fitted_neurosketch_object(golden_compiled):
+    sketch = NeuroSketch.load(str(DATA / "golden_sketch.json.gz"))
+    rng = np.random.default_rng(2)
+    Q = rng.uniform(0.0, 1.0, size=(8, sketch.input_dim))
+    with SketchService(cache=False) as svc:
+        svc.register("object-path", sketch)
+        np.testing.assert_allclose(
+            svc.ask_many(Q), golden_compiled.predict(Q), rtol=1e-12, atol=1e-12
+        )
+
+
+def test_cancelled_future_does_not_kill_the_batcher():
+    batcher = MicroBatcher(SumSketch().predict, max_batch_size=2, max_delay_s=30.0)
+    try:
+        doomed = batcher.submit(np.array([[1.0, 1.0]]), scalar=True)
+        assert doomed.cancel()
+        live = batcher.submit(np.array([[2.0, 2.0]]), scalar=True)  # size trigger
+        assert live.result(timeout=5.0) == 4.0
+        assert doomed.cancelled()
+        # The worker survived the cancelled Future and keeps serving.
+        after = batcher.submit(np.array([[3.0, 3.0]]), scalar=True)
+        assert batcher.run(np.array([[5.0, 5.0]])).tolist() == [10.0]
+        assert after.result(timeout=5.0) == 6.0
+    finally:
+        batcher.close()
+
+
+def test_shared_cache_is_namespaced_per_sketch():
+    class NegSketch:
+        def predict(self, Q):
+            return -np.atleast_2d(np.asarray(Q, dtype=np.float64)).sum(axis=1)
+
+    shared = AnswerCache(resolution=0.01)
+    with SketchService(cache=shared) as svc:
+        svc.register("pos", SumSketch())
+        svc.register("neg", NegSketch())
+        q = np.array([1.0, 2.0])
+        assert svc.ask(q, sketch="pos") == pytest.approx(3.0)
+        # The same quantized query against another sketch must not reuse
+        # the first sketch's cached answer.
+        assert svc.ask(q, sketch="neg") == pytest.approx(-3.0)
+        assert svc.ask(q, sketch="pos") == pytest.approx(3.0)  # still a hit
+        assert shared.hits == 1 and shared.misses == 2
+
+
+def test_register_on_closed_service_raises_and_leaks_nothing():
+    svc = SketchService()
+    svc.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        svc.register("late", SumSketch())
+    assert svc.sketch_names() == ()
