@@ -163,6 +163,10 @@ def build_estimator(
     epochs: int = 60,
     batch_size: int = 256,
     lr: float = 1e-3,
+    optimizer: str = "adam",
+    patience: int = 15,
+    min_delta: float = 1e-6,
+    train_backend: str = "stacked",
     sample_frac: float = 0.1,
     compile: bool = True,
 ) -> Estimator:
@@ -182,6 +186,10 @@ def build_estimator(
         epochs=epochs,
         batch_size=batch_size,
         lr=lr,
+        optimizer=optimizer,
+        patience=patience,
+        min_delta=min_delta,
+        train_backend=train_backend,
         sample_frac=sample_frac,
         compile=compile,
     )

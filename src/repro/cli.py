@@ -70,6 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--n-test", type=int, default=500, help="test queries")
     run.add_argument("--seed", type=int, default=0, help="experiment seed")
     run.add_argument("--epochs", type=int, default=60, help="NeuroSketch training epochs")
+    run.add_argument("--train-backend", choices=("stacked", "sequential"), default="stacked",
+                     help="leaf-MLP training engine: one vectorized loop over all "
+                          "leaves (default) or the per-leaf reference loop")
+    run.add_argument("--train-batch-size", type=int, default=256,
+                     help="mini-batch size for leaf training")
+    run.add_argument("--optimizer", choices=("adam", "sgd"), default="adam",
+                     help="leaf training optimizer")
+    run.add_argument("--patience", type=int, default=15,
+                     help="early-stop patience (epochs without improvement)")
+    run.add_argument("--min-delta", type=float, default=1e-6,
+                     help="relative loss improvement that resets early-stop patience")
     run.add_argument("--tree-height", type=int, default=4, help="NeuroSketch kd-tree height h")
     run.add_argument("--partitions", type=int, default=8,
                      help="NeuroSketch leaf target s after merging (0 disables merging)")
@@ -154,6 +165,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             tree_height=args.tree_height,
             n_partitions=None if args.partitions == 0 else args.partitions,
             epochs=args.epochs,
+            batch_size=args.train_batch_size,
+            optimizer=args.optimizer,
+            patience=args.patience,
+            min_delta=args.min_delta,
+            train_backend=args.train_backend,
             sample_frac=args.sample_frac,
             compile=not args.no_compile,
             fast=args.fast,

@@ -506,6 +506,64 @@ class CompiledSketch:
             )
         return cls(tree, groups, leaf_group, leaf_slot, input_dim)
 
+    @classmethod
+    def from_stack(
+        cls,
+        tree,
+        stacked,
+        x_scaler=None,
+        y_scaler=None,
+        leaf_ids: list[int] | None = None,
+    ) -> "CompiledSketch":
+        """Build directly from an already-stacked model set.
+
+        ``stacked`` is a :class:`~repro.nn.stacked.StackedMLP` whose slot
+        ``k`` holds leaf ``leaf_ids[k]`` (default: slot order is leaf-id
+        order); the optional stacked scalers
+        (:class:`~repro.nn.stacked.StackedStandardScaler`) carry the per-leaf
+        standardization statistics. This is what the stacked training
+        backend hands over after a fit — same weight tensors, no
+        unstack/restack round-trip through per-leaf MLP objects. The slots
+        must cover *every* tree leaf (mixed-architecture sketches go through
+        :meth:`from_sketch` instead).
+        """
+        flat = FlatTree.from_tree(tree)
+        n_leaves = stacked.n_leaves
+        leaf_ids = list(range(n_leaves)) if leaf_ids is None else [int(i) for i in leaf_ids]
+        if sorted(leaf_ids) != list(range(flat.n_leaves)):
+            raise ValueError(
+                f"stack slots cover leaf ids {sorted(leaf_ids)} but the tree "
+                f"has leaves 0..{flat.n_leaves - 1}"
+            )
+        input_dim = int(stacked.layer_sizes[0])
+        if x_scaler is not None:
+            x_mean = np.array(x_scaler.mean_, dtype=np.float64)
+            x_scale = np.array(x_scaler.scale_, dtype=np.float64)
+        else:
+            x_mean = np.zeros((n_leaves, input_dim))
+            x_scale = np.ones((n_leaves, input_dim))
+        if y_scaler is not None:
+            y_mean = np.array(y_scaler.mean_, dtype=np.float64)
+            y_scale = np.array(y_scaler.scale_, dtype=np.float64)
+        else:
+            y_mean = np.zeros(n_leaves)
+            y_scale = np.ones(n_leaves)
+        group = _LeafGroup(
+            list(stacked.layer_sizes),
+            leaf_ids,
+            [w.copy() for w in stacked.W],
+            [bias.copy() for bias in stacked.b],
+            x_mean,
+            x_scale,
+            y_mean,
+            y_scale,
+        )
+        leaf_group = np.zeros(flat.n_leaves, dtype=np.int64)
+        leaf_slot = np.empty(flat.n_leaves, dtype=np.int64)
+        for slot, lid in enumerate(leaf_ids):
+            leaf_slot[lid] = slot
+        return cls(flat, [group], leaf_group, leaf_slot, input_dim)
+
     # --------------------------------------------------------------- predict
 
     def predict(self, Q: np.ndarray) -> np.ndarray:

@@ -2,16 +2,18 @@
 
 Leaves whose query sub-function looks *easy* (small AQC) are merged with
 their siblings so that model capacity concentrates on the hard parts of the
-query space. Each round computes AQC for every leaf, marks the
-smallest-AQC (unmarked) leaf, and merges any sibling pair that is fully
-marked; rounds repeat until ``s`` leaves remain.
+query space. Each round marks the smallest-AQC (unmarked) leaf and merges
+any sibling pair that is fully marked; rounds repeat until ``s`` leaves
+remain. Per-leaf AQCs are computed once and cached (a leaf's query slice
+never changes), so a round costs at most one new AQC — the one for a
+freshly merged parent.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.complexity import leaf_aqcs
+from repro.core.complexity import average_query_change
 from repro.core.kdtree import QueryKDTree
 
 
@@ -23,6 +25,11 @@ def merge_leaves(
     rng: np.random.Generator | None = None,
 ) -> QueryKDTree:
     """Merge the tree's leaves in place down to ``s`` leaves (Alg. 3).
+
+    A leaf's AQC depends only on its query slice, which merging never
+    mutates, so each leaf's AQC is computed once and cached (a merged parent
+    is a new leaf and gets its AQC on first use) — rounds cost one new AQC
+    instead of a full-tree recomputation.
 
     Parameters
     ----------
@@ -40,16 +47,29 @@ def merge_leaves(
     if y.shape[0] != tree.Q.shape[0]:
         raise ValueError("y must align with the tree's build query set")
 
+    aqc_cache: dict[int, float] = {}
+
+    def aqc_of(leaf) -> float:
+        # Keyed by node identity: stable across relabeling, and a merged
+        # parent (a brand-new leaf) misses the cache exactly once. All nodes
+        # stay alive through ``tree`` while this runs, so ids are stable.
+        key = id(leaf)
+        if key not in aqc_cache:
+            idx = leaf.indices
+            aqc_cache[key] = average_query_change(
+                tree.Q[idx], y[idx], max_pairs=max_pairs, rng=rng
+            )
+        return aqc_cache[key]
+
     guard = 0
     while tree.n_leaves > s:
         guard += 1
         if guard > 10_000:
             raise RuntimeError("merge loop failed to converge")
 
-        aqcs = leaf_aqcs(tree, y, max_pairs=max_pairs, rng=rng)
         unmarked = [leaf for leaf in tree.leaves() if not leaf.marked]
         if unmarked:
-            smallest = min(unmarked, key=lambda leaf: aqcs[leaf.leaf_id])
+            smallest = min(unmarked, key=aqc_of)
             smallest.marked = True
         else:
             # Every leaf is marked but none are siblings; force-merge the
@@ -58,7 +78,7 @@ def merge_leaves(
             if not pairs:
                 break  # a single leaf remains
             parent, left, right = min(
-                pairs, key=lambda p: aqcs[p[1].leaf_id] + aqcs[p[2].leaf_id]
+                pairs, key=lambda p: aqc_of(p[1]) + aqc_of(p[2])
             )
             _merge(parent)
             tree.relabel_leaves()

@@ -13,7 +13,7 @@ Pipeline implemented by :meth:`NeuroSketch.fit`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -23,7 +23,8 @@ from repro.core.complexity import leaf_aqcs
 from repro.core.kdtree import QueryKDTree
 from repro.core.merging import merge_leaves
 from repro.nn.network import MLP, mlp_architecture
-from repro.nn.training import TrainConfig, TrainedRegressor, Trainer
+from repro.nn.stacked import StackedTrainer
+from repro.nn.training import TRAIN_BACKENDS, TrainConfig, TrainedRegressor, Trainer
 
 
 @dataclass
@@ -33,6 +34,18 @@ class _LeafModel:
     leaf_id: int
     regressor: TrainedRegressor
     n_train: int
+
+
+def _constant_mean_regressor(input_dim: int, mean: float) -> TrainedRegressor:
+    """Fallback for a degenerate (empty-training-set) leaf: an ``[d, 1]``
+    linear model with zero weights and ``mean`` as its bias, so it answers
+    the global training mean everywhere while staying serializable and
+    compilable like any other leaf model."""
+    model = MLP([input_dim, 1], seed=0)
+    layer = model.dense_layers[0]
+    layer.W[...] = 0.0
+    layer.b[...] = mean
+    return TrainedRegressor(model, None, None)
 
 
 class NeuroSketch(Estimator):
@@ -54,6 +67,11 @@ class NeuroSketch(Estimator):
         units).
     train_config:
         Training hyper-parameters; a sensible default is used when omitted.
+    train_backend:
+        ``"stacked"`` (default) trains all leaf MLPs simultaneously through
+        one vectorized loop (:mod:`repro.nn.stacked`); ``"sequential"`` runs
+        the per-leaf reference loop. Same seeds give the same models either
+        way — the backends differ in build time, not semantics.
     seed:
         Seed for model init, batching and AQC pair subsampling.
     """
@@ -68,16 +86,20 @@ class NeuroSketch(Estimator):
         width_first: int = 60,
         width_rest: int = 30,
         train_config: TrainConfig | None = None,
+        train_backend: str = "stacked",
         seed: int = 0,
     ) -> None:
         if tree_height < 0:
             raise ValueError("tree_height must be >= 0")
+        if train_backend not in TRAIN_BACKENDS:
+            raise ValueError(f"train_backend must be one of {TRAIN_BACKENDS}")
         self.tree_height = int(tree_height)
         self.n_partitions = None if n_partitions is None else int(n_partitions)
         self.depth = int(depth)
         self.width_first = int(width_first)
         self.width_rest = int(width_rest)
         self.train_config = train_config or TrainConfig(epochs=60, seed=seed)
+        self.train_backend = str(train_backend)
         self.seed = int(seed)
 
         self.tree: QueryKDTree | None = None
@@ -93,12 +115,14 @@ class NeuroSketch(Estimator):
         query_function=None,
         Q_train: np.ndarray = None,
         y_train: np.ndarray | None = None,
+        train_backend: str | None = None,
     ) -> "NeuroSketch":
         """Train on a query workload.
 
         Either pass a :class:`~repro.queries.query_function.QueryFunction`
         (used to label ``Q_train`` exactly — the paper's training-set
-        generation step) or precomputed labels ``y_train``.
+        generation step) or precomputed labels ``y_train``. ``train_backend``
+        overrides the constructor's choice for this fit only.
         """
         if Q_train is None:
             raise ValueError("Q_train is required")
@@ -110,6 +134,9 @@ class NeuroSketch(Estimator):
         y_train = np.asarray(y_train, dtype=np.float64).ravel()
         if y_train.shape[0] != Q_train.shape[0]:
             raise ValueError("Q_train and y_train must have matching length")
+        backend = self.train_backend if train_backend is None else str(train_backend)
+        if backend not in TRAIN_BACKENDS:
+            raise ValueError(f"train_backend must be one of {TRAIN_BACKENDS}")
 
         self.input_dim = Q_train.shape[1]
         self._compiled = None  # any previous compilation is now stale
@@ -123,30 +150,70 @@ class NeuroSketch(Estimator):
             merge_leaves(self.tree, y_train, self.n_partitions, rng=rng)
         self.leaf_aqcs_ = leaf_aqcs(self.tree, y_train, rng=rng)
 
-        # (3) Train one model per leaf.
-        self.models = {}
-        arch = mlp_architecture(self.input_dim, self.depth, self.width_first, self.width_rest)
-        for leaf in self.tree.leaves():
-            idx = leaf.indices
-            cfg = self.train_config
-            model = MLP(arch, seed=rng.integers(0, 2**31 - 1))
-            trainer = Trainer(
-                TrainConfig(
-                    epochs=cfg.epochs,
-                    batch_size=cfg.batch_size,
-                    lr=cfg.lr,
-                    optimizer=cfg.optimizer,
-                    momentum=cfg.momentum,
-                    patience=cfg.patience,
-                    min_delta=cfg.min_delta,
-                    standardize_inputs=cfg.standardize_inputs,
-                    standardize_targets=cfg.standardize_targets,
-                    seed=int(rng.integers(0, 2**31 - 1)),
-                )
-            )
-            regressor = trainer.fit(model, Q_train[idx], y_train[idx])
-            self.models[leaf.leaf_id] = _LeafModel(leaf.leaf_id, regressor, len(idx))
+        # (3) Train one model per leaf (both backends, same per-leaf seeds).
+        self._train_leaves(Q_train, y_train, rng, backend)
         return self
+
+    def _train_leaves(
+        self, Q_train: np.ndarray, y_train: np.ndarray, rng: np.random.Generator, backend: str
+    ) -> None:
+        """Step (3) of :meth:`fit`: one trained regressor per tree leaf.
+
+        Seed draws happen in leaf order regardless of backend (two draws per
+        leaf: model init, batch shuffling), so ``"stacked"`` and
+        ``"sequential"`` train from identical initial weights on identical
+        batch sequences. A leaf whose training slice is empty gets a
+        constant-mean fallback regressor instead of a ValueError from deep
+        inside the trainer.
+        """
+        self.models = {}
+        cfg = self.train_config
+        arch = mlp_architecture(self.input_dim, self.depth, self.width_first, self.width_rest)
+        leaves = self.tree.leaves()
+        seeds = [
+            (int(rng.integers(0, 2**31 - 1)), int(rng.integers(0, 2**31 - 1))) for _ in leaves
+        ]
+        trainable = [i for i, leaf in enumerate(leaves) if len(leaf.indices) > 0]
+        fallback_mean = float(y_train.mean()) if y_train.size else 0.0
+        for i in sorted(set(range(len(leaves))) - set(trainable)):
+            leaf = leaves[i]
+            self.models[leaf.leaf_id] = _LeafModel(
+                leaf.leaf_id, _constant_mean_regressor(self.input_dim, fallback_mean), 0
+            )
+
+        if backend == "sequential":
+            for i in trainable:
+                leaf = leaves[i]
+                idx = leaf.indices
+                model = MLP(arch, seed=seeds[i][0])
+                trainer = Trainer(replace(cfg, seed=seeds[i][1]))
+                regressor = trainer.fit(model, Q_train[idx], y_train[idx])
+                self.models[leaf.leaf_id] = _LeafModel(leaf.leaf_id, regressor, len(idx))
+            return
+
+        if not trainable:
+            return
+        models = [MLP(arch, seed=seeds[i][0]) for i in trainable]
+        result = StackedTrainer(cfg).fit(
+            models,
+            [Q_train[leaves[i].indices] for i in trainable],
+            [y_train[leaves[i].indices] for i in trainable],
+            seeds=[seeds[i][1] for i in trainable],
+        )
+        for i, regressor in zip(trainable, result.regressors):
+            leaf = leaves[i]
+            self.models[leaf.leaf_id] = _LeafModel(leaf.leaf_id, regressor, len(leaf.indices))
+        if len(trainable) == len(leaves):
+            # Hand the trained stack straight to the compiled engine — no
+            # unstack/restack round-trip. (With fallback leaves in play the
+            # architectures are mixed; the lazy ``compile()`` handles that.)
+            self._compiled = CompiledSketch.from_stack(
+                self.tree,
+                result.stacked,
+                x_scaler=result.x_scaler,
+                y_scaler=result.y_scaler,
+                leaf_ids=[leaves[i].leaf_id for i in trainable],
+            )
 
     def _check_fitted(self) -> None:
         if self.tree is None or not self.models:
@@ -213,6 +280,7 @@ class NeuroSketch(Estimator):
         return {
             "tree_height": self.tree_height,
             "n_leaves": self.tree.n_leaves,
+            "train_backend": self.train_backend,
             "depth": self.depth,
             "width_first": self.width_first,
             "width_rest": self.width_rest,
@@ -232,6 +300,7 @@ class NeuroSketch(Estimator):
                 "depth": self.depth,
                 "width_first": self.width_first,
                 "width_rest": self.width_rest,
+                "train_backend": self.train_backend,
                 "seed": self.seed,
             },
             "input_dim": self.input_dim,
@@ -251,6 +320,8 @@ class NeuroSketch(Estimator):
             depth=cfg["depth"],
             width_first=cfg["width_first"],
             width_rest=cfg["width_rest"],
+            # Pre-stacked-engine artifacts carry no backend field.
+            train_backend=cfg.get("train_backend", "stacked"),
             seed=cfg["seed"],
         )
         sketch.input_dim = state["input_dim"]

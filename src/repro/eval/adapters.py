@@ -81,6 +81,10 @@ class NeuroSketchEstimator(NeuroSketch):
         epochs: int = 60,
         batch_size: int = 256,
         lr: float = 1e-3,
+        optimizer: str = "adam",
+        patience: int = 15,
+        min_delta: float = 1e-6,
+        train_backend: str = "stacked",
         seed: int = 0,
         compile: bool = True,
     ) -> None:
@@ -90,7 +94,16 @@ class NeuroSketchEstimator(NeuroSketch):
             depth=depth,
             width_first=width_first,
             width_rest=width_rest,
-            train_config=TrainConfig(epochs=epochs, batch_size=batch_size, lr=lr, seed=seed),
+            train_config=TrainConfig(
+                epochs=epochs,
+                batch_size=batch_size,
+                lr=lr,
+                optimizer=optimizer,
+                patience=patience,
+                min_delta=min_delta,
+                seed=seed,
+            ),
+            train_backend=train_backend,
             seed=seed,
         )
         self.compile_enabled = bool(compile)
@@ -191,6 +204,10 @@ def _make_neurosketch(**kw) -> Estimator:
         epochs=kw["epochs"],
         batch_size=kw["batch_size"],
         lr=kw["lr"],
+        optimizer=kw.get("optimizer", "adam"),
+        patience=kw.get("patience", 15),
+        min_delta=kw.get("min_delta", 1e-6),
+        train_backend=kw.get("train_backend", "stacked"),
         seed=kw["seed"],
         compile=kw.get("compile", True),
     )

@@ -18,6 +18,7 @@ from repro.data.registry import load_dataset, resolve_dataset_name
 from repro.eval.adapters import build_estimator, resolve_estimator_name
 from repro.eval.metrics import error_summary, uniform_answer_error
 from repro.eval.timing import LatencyStats, time_batch, time_per_query, timed
+from repro.nn.training import OPTIMIZERS, TRAIN_BACKENDS
 from repro.queries.aggregates import get_aggregate
 from repro.queries.query_function import QueryFunction
 from repro.queries.workload import WorkloadGenerator, train_test_queries
@@ -51,6 +52,11 @@ class ExperimentConfig:
     epochs: int = 60
     batch_size: int = 256
     lr: float = 1e-3
+    optimizer: str = "adam"
+    patience: int = 15
+    min_delta: float = 1e-6
+    # Leaf training engine: "stacked" (vectorized, default) | "sequential".
+    train_backend: str = "stacked"
     # Sampling baselines.
     sample_frac: float = 0.1
     # Compiled inference (NeuroSketch): False restores the object path.
@@ -87,6 +93,14 @@ class ExperimentConfig:
             raise ValueError("depth and layer widths must be >= 1")
         if self.epochs < 1 or self.batch_size < 1 or self.lr <= 0.0:
             raise ValueError("epochs and batch_size must be >= 1 and lr positive")
+        if self.optimizer not in OPTIMIZERS:
+            raise ValueError(f"optimizer must be one of {OPTIMIZERS}")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if self.min_delta < 0.0:
+            raise ValueError("min_delta must be >= 0")
+        if self.train_backend not in TRAIN_BACKENDS:
+            raise ValueError(f"train_backend must be one of {TRAIN_BACKENDS}")
         if not 0.0 < self.sample_frac <= 1.0:
             raise ValueError("sample_frac must be in (0, 1]")
         if self.n_timing_queries < 1 or self.timing_warmup < 0 or self.timing_repeats < 1:
@@ -137,6 +151,9 @@ class EstimatorResult:
     #: Timings through the repro.serve path (micro-batch, answer cache);
     #: None for estimators the service block does not cover.
     service: dict | None = None
+    #: Stacked-vs-sequential construction timings (training backends); None
+    #: for estimators without a leaf-training engine.
+    build: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -148,6 +165,7 @@ class EstimatorResult:
             "latency": self.latency.to_dict() if self.latency else None,
             "batch": dict(self.batch),
             "service": dict(self.service) if self.service is not None else None,
+            "build": dict(self.build) if self.build is not None else None,
         }
 
 
@@ -263,23 +281,27 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
     n_timing = min(config.n_timing_queries, Q_test.shape[0])
     Q_timing = Q_test[:n_timing]
 
+    est_kwargs = dict(
+        seed=config.seed,
+        tree_height=config.tree_height,
+        n_partitions=config.n_partitions,
+        depth=config.depth,
+        width_first=config.width_first,
+        width_rest=config.width_rest,
+        epochs=config.epochs,
+        batch_size=config.batch_size,
+        lr=config.lr,
+        optimizer=config.optimizer,
+        patience=config.patience,
+        min_delta=config.min_delta,
+        train_backend=config.train_backend,
+        sample_frac=config.sample_frac,
+        compile=config.compile,
+    )
     results: list[EstimatorResult] = []
     fitted: dict[str, object] = {}
     for name in config.estimators:
-        estimator = build_estimator(
-            name,
-            seed=config.seed,
-            tree_height=config.tree_height,
-            n_partitions=config.n_partitions,
-            depth=config.depth,
-            width_first=config.width_first,
-            width_rest=config.width_rest,
-            epochs=config.epochs,
-            batch_size=config.batch_size,
-            lr=config.lr,
-            sample_frac=config.sample_frac,
-            compile=config.compile,
-        )
+        estimator = build_estimator(name, **est_kwargs)
         if not estimator.supports(qf):
             say(f"skipping {name}: does not support {qf.aggregate.name}")
             results.append(EstimatorResult(name=name, supported=False))
@@ -331,6 +353,33 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
             say(f"timing {name} service path (micro-batch, answer cache)")
             service = _time_service(estimator, pred, Q_test, Q_timing, config)
 
+        # Construction path: when the estimator has swappable training
+        # backends, fit a fresh instance with the *other* backend so the
+        # BENCH file records both build times (and both accuracies — the
+        # backends must agree within noise) plus the stacked speedup.
+        build = None
+        backend = getattr(estimator, "train_backend", None)
+        if backend in TRAIN_BACKENDS:
+            other = "sequential" if backend == "stacked" else "stacked"
+            say(f"fitting {name} with the {other} backend (build-time baseline)")
+            ref = build_estimator(name, **{**est_kwargs, "train_backend": other})
+            _, other_s = timed(lambda: ref.fit(qf, Q_train, y_train))
+            ref_pred = np.asarray(ref.predict(Q_test), dtype=np.float64).ravel()
+            ref_errors = error_summary(ref_pred, y_test)
+            by_backend_s = {backend: build_s, other: other_s}
+            by_backend_nmae = {
+                backend: errors["normalized_mae"],
+                other: ref_errors["normalized_mae"],
+            }
+            build = {
+                "backend": backend,
+                "stacked_build_s": by_backend_s["stacked"],
+                "sequential_build_s": by_backend_s["sequential"],
+                "speedup_vs_sequential": by_backend_s["sequential"] / by_backend_s["stacked"],
+                "stacked_normalized_mae": by_backend_nmae["stacked"],
+                "sequential_normalized_mae": by_backend_nmae["sequential"],
+            }
+
         fitted[name] = estimator
         results.append(
             EstimatorResult(
@@ -342,6 +391,7 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
                 latency=latency,
                 batch=batch,
                 service=service,
+                build=build,
             )
         )
 

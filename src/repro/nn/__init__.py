@@ -8,8 +8,12 @@ in NumPy:
 - :mod:`~repro.nn.layers` / :mod:`~repro.nn.network` — dense ReLU MLPs with
   backprop.
 - :mod:`~repro.nn.optimizers` — SGD (momentum) and Adam [20].
-- :mod:`~repro.nn.training` — the mini-batch MSE training loop of Alg. 4,
-  with input/target standardization and plateau-based early stopping.
+- :mod:`~repro.nn.train_core` / :mod:`~repro.nn.training` — the mini-batch
+  MSE training loop of Alg. 4 (backend-neutral config/result types plus the
+  sequential per-model loop), with input/target standardization and
+  plateau-based early stopping.
+- :mod:`~repro.nn.stacked` — the vectorized engine that trains all per-leaf
+  models simultaneously through stacked ``(L, fan_in, fan_out)`` tensors.
 - :mod:`~repro.nn.construction` — the constructive network of Theorem 3.4
   (Alg. 1, "g-units"), both as a closed-form builder and as a trainable
   model for the CS+SGD variant of Appendix A.5.
@@ -19,8 +23,21 @@ from repro.nn.layers import Dense, ReLU
 from repro.nn.network import MLP, mlp_architecture
 from repro.nn.losses import MSELoss
 from repro.nn.optimizers import SGD, Adam
-from repro.nn.scalers import StandardScaler
-from repro.nn.training import TrainConfig, Trainer, TrainedRegressor
+from repro.nn.scalers import StackedStandardScaler, StandardScaler
+from repro.nn.training import (
+    OPTIMIZERS,
+    TRAIN_BACKENDS,
+    TrainConfig,
+    Trainer,
+    TrainedRegressor,
+)
+from repro.nn.stacked import (
+    StackedAdam,
+    StackedMLP,
+    StackedSGD,
+    StackedTrainer,
+    StackedTrainResult,
+)
 from repro.nn.construction import ConstructedNetwork, construction_grid_size
 
 __all__ = [
@@ -32,9 +49,17 @@ __all__ = [
     "SGD",
     "Adam",
     "StandardScaler",
+    "StackedStandardScaler",
+    "OPTIMIZERS",
+    "TRAIN_BACKENDS",
     "TrainConfig",
     "Trainer",
     "TrainedRegressor",
+    "StackedAdam",
+    "StackedMLP",
+    "StackedSGD",
+    "StackedTrainer",
+    "StackedTrainResult",
     "ConstructedNetwork",
     "construction_grid_size",
 ]

@@ -44,3 +44,90 @@ class StandardScaler:
             scaler.mean_ = scaler.mean_.reshape(())
             scaler.scale_ = scaler.scale_.reshape(())
         return scaler
+
+
+class StackedStandardScaler:
+    """Per-group z-score statistics stacked along a leading group axis.
+
+    Fit on a *list* of per-group arrays (each group's statistics are computed
+    on its own rows, exactly like :class:`StandardScaler`); transform either a
+    padded stacked tensor — ``(L, n, d)`` features or ``(L, n)`` targets — in
+    one broadcast, or a single group's compact array via the ``*_group``
+    variants. ``scaler_for`` slices out a plain :class:`StandardScaler`, so a
+    stack-trained model can be unbundled into per-leaf regressors without
+    recomputing anything.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, groups) -> "StackedStandardScaler":
+        """Fit on a sequence of per-group arrays (``(n_l, d)`` or ``(n_l,)``)."""
+        if len(groups) == 0:
+            raise ValueError("need at least one group to fit")
+        means, scales = [], []
+        for values in groups:
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape[0] == 0:
+                raise ValueError("cannot fit a scaler on an empty group")
+            mean = values.mean(axis=0)
+            scale = values.std(axis=0)
+            means.append(mean)
+            scales.append(np.where(scale > 1e-12, scale, 1.0))
+        self.mean_ = np.stack(means)
+        self.scale_ = np.stack(scales)
+        return self
+
+    def _check(self) -> None:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+
+    @property
+    def n_groups(self) -> int:
+        self._check()
+        return self.mean_.shape[0]
+
+    def _broadcast(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stats shaped to broadcast over a padded ``(L, n, ...)`` tensor."""
+        mean, scale = self.mean_, self.scale_
+        return mean[:, None, ...], scale[:, None, ...]
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Transform a padded stack ``(L, n, d)`` / ``(L, n)`` in one shot."""
+        self._check()
+        mean, scale = self._broadcast()
+        return (np.asarray(values, dtype=np.float64) - mean) / scale
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check()
+        mean, scale = self._broadcast()
+        return np.asarray(values, dtype=np.float64) * scale + mean
+
+    def transform_group(self, group: int, values: np.ndarray) -> np.ndarray:
+        """Transform one group's compact array (same math as the stack)."""
+        self._check()
+        return (np.asarray(values, dtype=np.float64) - self.mean_[group]) / self.scale_[group]
+
+    def inverse_transform_group(self, group: int, values: np.ndarray) -> np.ndarray:
+        self._check()
+        return np.asarray(values, dtype=np.float64) * self.scale_[group] + self.mean_[group]
+
+    def scaler_for(self, group: int) -> StandardScaler:
+        """A plain per-group :class:`StandardScaler` view of slot ``group``."""
+        self._check()
+        scaler = StandardScaler()
+        scaler.mean_ = self.mean_[group]
+        scaler.scale_ = self.scale_[group]
+        return scaler
+
+    def to_dict(self) -> dict:
+        self._check()
+        return {"mean": self.mean_.tolist(), "scale": self.scale_.tolist()}
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "StackedStandardScaler":
+        scaler = cls()
+        scaler.mean_ = np.asarray(state["mean"], dtype=np.float64)
+        scaler.scale_ = np.asarray(state["scale"], dtype=np.float64)
+        return scaler

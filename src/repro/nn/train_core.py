@@ -1,0 +1,115 @@
+"""Backend-neutral training core shared by the sequential and stacked engines.
+
+:class:`TrainConfig` holds the Alg.-4 hyper-parameters; :class:`TrainedRegressor`
+wraps a trained model with its input/target scalers. Both are consumed by the
+per-leaf reference loop (:class:`repro.nn.training.Trainer`) and the vectorized
+all-leaves engine (:class:`repro.nn.stacked.StackedTrainer`), which implement
+the same semantics over different execution strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.network import MLP
+from repro.nn.optimizers import Adam, Optimizer, SGD
+from repro.nn.scalers import StandardScaler
+
+#: Training-backend names accepted by ``NeuroSketch.fit`` and the CLI.
+TRAIN_BACKENDS = ("stacked", "sequential")
+
+#: Optimizer names accepted by :class:`TrainConfig`.
+OPTIMIZERS = ("adam", "sgd")
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for the Alg.-4 training loop (any backend)."""
+
+    epochs: int = 80
+    batch_size: int = 256
+    lr: float = 1e-3
+    optimizer: str = "adam"  # "adam" | "sgd"
+    momentum: float = 0.9  # only for sgd
+    patience: int = 15  # epochs without improvement before stopping
+    min_delta: float = 1e-6  # relative improvement that resets patience
+    standardize_inputs: bool = True
+    standardize_targets: bool = True
+    seed: int = 0
+
+    def make_optimizer(self) -> Optimizer:
+        if self.optimizer == "adam":
+            return Adam(lr=self.lr)
+        if self.optimizer == "sgd":
+            return SGD(lr=self.lr, momentum=self.momentum)
+        raise ValueError(f"unknown optimizer {self.optimizer!r}")
+
+
+class TrainedRegressor:
+    """A trained model plus its input/target scalers.
+
+    ``model`` can be any object with ``forward/num_params/num_bytes``
+    (an :class:`~repro.nn.network.MLP` or a
+    :class:`~repro.nn.construction.ConstructedNetwork`).
+    """
+
+    def __init__(
+        self,
+        model,
+        x_scaler: StandardScaler | None,
+        y_scaler: StandardScaler | None,
+        history: list[float] | None = None,
+    ) -> None:
+        self.model = model
+        self.x_scaler = x_scaler
+        self.y_scaler = y_scaler
+        self.history = history or []
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if self.x_scaler is not None:
+            X = self.x_scaler.transform(X)
+        pred = self.model.forward(X)
+        if self.y_scaler is not None:
+            pred = self.y_scaler.inverse_transform(pred)
+        return pred
+
+    def num_params(self) -> int:
+        return self.model.num_params()
+
+    def num_bytes(self) -> int:
+        return self.model.num_bytes()
+
+    # ------------------------------------------------------------ persistence
+
+    def to_dict(self) -> dict:
+        from repro.nn.construction import ConstructedNetwork  # avoid cycle at import
+
+        if isinstance(self.model, MLP):
+            model_state = {"kind": "mlp", **self.model.to_dict()}
+        elif isinstance(self.model, ConstructedNetwork):
+            model_state = {"kind": "constructed", **self.model.to_dict()}
+        else:
+            raise TypeError(f"cannot serialize model of type {type(self.model).__name__}")
+        return {
+            "model": model_state,
+            "x_scaler": self.x_scaler.to_dict() if self.x_scaler else None,
+            "y_scaler": self.y_scaler.to_dict() if self.y_scaler else None,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "TrainedRegressor":
+        from repro.nn.construction import ConstructedNetwork
+
+        model_state = state["model"]
+        if model_state["kind"] == "mlp":
+            model = MLP.from_dict(model_state)
+        elif model_state["kind"] == "constructed":
+            model = ConstructedNetwork.from_dict(model_state)
+        else:
+            raise ValueError(f"unknown model kind {model_state['kind']!r}")
+        x_scaler = StandardScaler.from_dict(state["x_scaler"]) if state["x_scaler"] else None
+        y_scaler = StandardScaler.from_dict(state["y_scaler"]) if state["y_scaler"] else None
+        return cls(model, x_scaler, y_scaler)

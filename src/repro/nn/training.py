@@ -1,116 +1,41 @@
-"""Mini-batch training loop (Alg. 4 of the paper).
+"""Sequential mini-batch training loop (Alg. 4 of the paper).
 
 ``Trainer.fit`` standardizes inputs/targets, runs Adam (or SGD) on MSE over
 mini-batches sampled from the training queries, early-stops on loss plateau
 and restores the best parameters — returning a :class:`TrainedRegressor`
 that predicts in the original target units.
+
+This is the one-model-at-a-time *reference* backend; the vectorized engine
+that trains all leaf models simultaneously with identical semantics lives in
+:mod:`repro.nn.stacked`. The backend-neutral pieces (:class:`TrainConfig`,
+:class:`TrainedRegressor`) are defined in :mod:`repro.nn.train_core` and
+re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.nn.losses import MSELoss
-from repro.nn.network import MLP
-from repro.nn.optimizers import Adam, Optimizer, SGD
 from repro.nn.scalers import StandardScaler
+from repro.nn.train_core import (
+    OPTIMIZERS,
+    TRAIN_BACKENDS,
+    TrainConfig,
+    TrainedRegressor,
+)
 
-
-@dataclass
-class TrainConfig:
-    """Hyper-parameters for :class:`Trainer`."""
-
-    epochs: int = 80
-    batch_size: int = 256
-    lr: float = 1e-3
-    optimizer: str = "adam"  # "adam" | "sgd"
-    momentum: float = 0.9  # only for sgd
-    patience: int = 15  # epochs without improvement before stopping
-    min_delta: float = 1e-6  # relative improvement that resets patience
-    standardize_inputs: bool = True
-    standardize_targets: bool = True
-    seed: int = 0
-
-    def make_optimizer(self) -> Optimizer:
-        if self.optimizer == "adam":
-            return Adam(lr=self.lr)
-        if self.optimizer == "sgd":
-            return SGD(lr=self.lr, momentum=self.momentum)
-        raise ValueError(f"unknown optimizer {self.optimizer!r}")
-
-
-class TrainedRegressor:
-    """A trained model plus its input/target scalers.
-
-    ``model`` can be any object with ``forward/num_params/num_bytes``
-    (an :class:`~repro.nn.network.MLP` or a
-    :class:`~repro.nn.construction.ConstructedNetwork`).
-    """
-
-    def __init__(
-        self,
-        model,
-        x_scaler: StandardScaler | None,
-        y_scaler: StandardScaler | None,
-        history: list[float] | None = None,
-    ) -> None:
-        self.model = model
-        self.x_scaler = x_scaler
-        self.y_scaler = y_scaler
-        self.history = history or []
-
-    def predict(self, X: np.ndarray) -> np.ndarray:
-        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
-        if self.x_scaler is not None:
-            X = self.x_scaler.transform(X)
-        pred = self.model.forward(X)
-        if self.y_scaler is not None:
-            pred = self.y_scaler.inverse_transform(pred)
-        return pred
-
-    def num_params(self) -> int:
-        return self.model.num_params()
-
-    def num_bytes(self) -> int:
-        return self.model.num_bytes()
-
-    # ------------------------------------------------------------ persistence
-
-    def to_dict(self) -> dict:
-        from repro.nn.construction import ConstructedNetwork  # avoid cycle at import
-
-        if isinstance(self.model, MLP):
-            model_state = {"kind": "mlp", **self.model.to_dict()}
-        elif isinstance(self.model, ConstructedNetwork):
-            model_state = {"kind": "constructed", **self.model.to_dict()}
-        else:
-            raise TypeError(f"cannot serialize model of type {type(self.model).__name__}")
-        return {
-            "model": model_state,
-            "x_scaler": self.x_scaler.to_dict() if self.x_scaler else None,
-            "y_scaler": self.y_scaler.to_dict() if self.y_scaler else None,
-        }
-
-    @classmethod
-    def from_dict(cls, state: dict) -> "TrainedRegressor":
-        from repro.nn.construction import ConstructedNetwork
-
-        model_state = state["model"]
-        if model_state["kind"] == "mlp":
-            model = MLP.from_dict(model_state)
-        elif model_state["kind"] == "constructed":
-            model = ConstructedNetwork.from_dict(model_state)
-        else:
-            raise ValueError(f"unknown model kind {model_state['kind']!r}")
-        x_scaler = StandardScaler.from_dict(state["x_scaler"]) if state["x_scaler"] else None
-        y_scaler = StandardScaler.from_dict(state["y_scaler"]) if state["y_scaler"] else None
-        return cls(model, x_scaler, y_scaler)
+__all__ = [
+    "OPTIMIZERS",
+    "TRAIN_BACKENDS",
+    "TrainConfig",
+    "TrainedRegressor",
+    "Trainer",
+]
 
 
 class Trainer:
-    """Runs the Alg.-4 supervised loop on a model."""
+    """Runs the Alg.-4 supervised loop on a single model."""
 
     def __init__(self, config: TrainConfig | None = None) -> None:
         self.config = config or TrainConfig()

@@ -93,6 +93,39 @@ def test_run_default_records_compiled_speedup(tmp_path):
     assert ns["batch"]["speedup_vs_object_per_query"] > 0.0
 
 
+def test_run_train_backend_and_knobs_land_in_bench(tmp_path):
+    rc = main(
+        [
+            "run",
+            "--dataset", "synthetic",
+            "--estimators", "neurosketch",
+            "--fast",
+            "--train-backend", "sequential",
+            "--train-batch-size", "64",
+            "--patience", "4",
+            "--min-delta", "1e-5",
+            "--optimizer", "adam",
+            "--n-rows", "400",
+            "--n-train", "60",
+            "--n-test", "20",
+            "--quiet",
+            "--out-dir", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    payload = json.loads((tmp_path / "BENCH_synthetic.json").read_text())
+    config = payload["config"]
+    assert config["train_backend"] == "sequential"
+    assert config["batch_size"] <= 64  # --fast may clamp further
+    assert config["patience"] == 4
+    assert config["min_delta"] == 1e-5
+    assert config["optimizer"] == "adam"
+    build = payload["estimators"][0]["build"]
+    assert build["backend"] == "sequential"
+    assert "speedup_vs_sequential" in build
+    assert build["stacked_build_s"] > 0.0 and build["sequential_build_s"] > 0.0
+
+
 def test_run_no_bench_skips_file(tmp_path):
     rc = main(
         [

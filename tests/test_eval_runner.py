@@ -223,6 +223,68 @@ def test_service_block_serializes_into_bench_json(tiny_result, tmp_path):
     assert uniform["service"] is None
 
 
+def test_runner_records_build_backend_comparison(tiny_result):
+    """The build block must carry both backends' construction times, the
+    stacked speedup, and both accuracies (they must agree within noise)."""
+    build = tiny_result.estimator("neurosketch").build
+    assert build is not None
+    assert build["backend"] == "stacked"
+    assert build["stacked_build_s"] > 0.0 and build["sequential_build_s"] > 0.0
+    assert np.isfinite(build["speedup_vs_sequential"])
+    assert build["speedup_vs_sequential"] == pytest.approx(
+        build["sequential_build_s"] / build["stacked_build_s"]
+    )
+    # Same seeds => the two backends train the same models.
+    assert build["stacked_normalized_mae"] == pytest.approx(
+        build["sequential_normalized_mae"], rel=1e-6
+    )
+    # Estimators without a training backend have no build block.
+    assert tiny_result.estimator("exact").build is None
+    assert tiny_result.estimator("uniform").build is None
+
+
+def test_build_block_serializes_into_bench_json(tiny_result, tmp_path):
+    path = write_bench_json(tiny_result, "build", tmp_path)
+    payload = load_bench_json(path)
+    ns = next(e for e in payload["estimators"] if e["name"] == "neurosketch")
+    assert "speedup_vs_sequential" in ns["build"]
+    assert payload["config"]["train_backend"] == "stacked"
+    for knob in ("patience", "optimizer", "min_delta", "batch_size"):
+        assert knob in payload["config"]
+
+
+def test_sequential_backend_records_build_block_too():
+    config = ExperimentConfig(
+        dataset="synthetic",
+        estimators=("neurosketch",),
+        fast=True,
+        n_rows=400,
+        n_train=80,
+        n_test=30,
+        n_timing_queries=5,
+        timing_warmup=1,
+        timing_repeats=1,
+        train_backend="sequential",
+        seed=0,
+    )
+    result = run_experiment(config)
+    build = result.estimator("neurosketch").build
+    assert build["backend"] == "sequential"
+    assert build["stacked_build_s"] > 0.0 and build["sequential_build_s"] > 0.0
+    assert np.isfinite(build["speedup_vs_sequential"])
+
+
+def test_config_rejects_bad_training_knobs():
+    with pytest.raises(ValueError):
+        ExperimentConfig(train_backend="bogus")
+    with pytest.raises(ValueError):
+        ExperimentConfig(optimizer="bogus")
+    with pytest.raises(ValueError):
+        ExperimentConfig(patience=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(min_delta=-1.0)
+
+
 def test_service_block_skipped_without_compile_or_service():
     config = ExperimentConfig(
         dataset="synthetic",

@@ -88,3 +88,58 @@ def test_unfitted_sketch_raises():
 def test_fit_requires_labels_or_query_function():
     with pytest.raises(ValueError):
         NeuroSketch(tree_height=0).fit(None, np.zeros((10, 2)), None)
+
+
+def test_invalid_train_backend_rejected():
+    with pytest.raises(ValueError):
+        NeuroSketch(train_backend="bogus")
+    with pytest.raises(ValueError):
+        NeuroSketch(tree_height=0).fit(None, np.zeros((10, 2)), np.zeros(10),
+                                       train_backend="bogus")
+
+
+@pytest.mark.parametrize("backend", ["stacked", "sequential"])
+def test_empty_leaf_gets_constant_mean_fallback(backend):
+    """A leaf whose training slice is empty must not raise from deep inside
+    the trainer; it gets a constant-mean regressor and stays servable
+    through both the object and the compiled path."""
+    ds = load_dataset("synthetic", n=500, seed=0)
+    qf = QueryFunction.axis_range(ds, aggregate="AVG")
+    wl = WorkloadGenerator(qf, seed=1)
+    Q, y = wl.labelled_sample(120)
+    sketch = NeuroSketch(
+        tree_height=2,
+        n_partitions=None,
+        depth=2,
+        width_first=8,
+        width_rest=4,
+        train_config=TrainConfig(epochs=2, batch_size=32, seed=0),
+        train_backend=backend,
+        seed=0,
+    )
+    sketch.fit(qf, Q, y)
+
+    # Degenerate state: one leaf loses its training slice, then leaf models
+    # are retrained (fit's step 3). The kd-tree build itself never produces
+    # empty leaves, so this is staged through the training seam directly.
+    leaf = sketch.tree.leaves()[0]
+    leaf.indices = np.empty(0, dtype=np.int64)
+    sketch._compiled = None
+    sketch._train_leaves(Q, y, np.random.default_rng(0), backend)
+
+    fallback = sketch.models[leaf.leaf_id]
+    assert fallback.n_train == 0
+    probe = Q[:10]
+    np.testing.assert_allclose(
+        fallback.regressor.predict(probe), np.full(10, y.mean()), atol=1e-12
+    )
+    # End-to-end object path still answers, and the compiled engine agrees
+    # (the fallback is a [d, 1] model, so it lands in its own weight group).
+    pred = sketch.predict(Q)
+    assert np.all(np.isfinite(pred))
+    np.testing.assert_allclose(
+        sketch.compile(force=True).predict(Q), pred, rtol=1e-12, atol=1e-12
+    )
+    # And it serializes like any other leaf model.
+    clone = NeuroSketch.from_dict(sketch.to_dict())
+    np.testing.assert_allclose(clone.predict(Q[:20]), pred[:20], rtol=1e-12, atol=1e-12)

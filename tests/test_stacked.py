@@ -1,0 +1,362 @@
+"""Unit tests for the stacked (vectorized all-leaves) training engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import MSELoss
+from repro.nn.network import MLP
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.scalers import StackedStandardScaler, StandardScaler
+from repro.nn.stacked import StackedAdam, StackedMLP, StackedSGD, StackedTrainer
+from repro.nn.training import TrainConfig, Trainer
+
+SIZES = [3, 8, 5, 1]
+
+
+def _models(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [MLP(SIZES, seed=int(rng.integers(0, 2**31 - 1))) for _ in range(n)]
+
+
+# ------------------------------------------------------------------ StackedMLP
+
+
+def test_from_models_stacks_weights_and_forward_matches_per_leaf():
+    models = _models(4)
+    stacked = StackedMLP.from_models(models)
+    assert stacked.n_leaves == 4
+    assert stacked.W[0].shape == (4, 3, 8)
+    assert stacked.b[-1].shape == (4, 1)
+
+    X = np.random.default_rng(1).normal(size=(4, 9, 3))
+    pred, _ = stacked.forward(X, np.arange(4))
+    assert pred.shape == (4, 9)
+    for li, model in enumerate(models):
+        np.testing.assert_array_equal(pred[li], model.forward(X[li]))
+
+
+def test_forward_on_leaf_subset():
+    models = _models(5)
+    stacked = StackedMLP.from_models(models)
+    X = np.random.default_rng(2).normal(size=(2, 6, 3))
+    idx = np.array([3, 1])
+    pred, _ = stacked.forward(X, idx)
+    np.testing.assert_array_equal(pred[0], models[3].forward(X[0]))
+    np.testing.assert_array_equal(pred[1], models[1].forward(X[1]))
+
+
+def test_from_models_rejects_mixed_architectures():
+    with pytest.raises(ValueError):
+        StackedMLP.from_models([MLP([3, 4, 1]), MLP([3, 5, 1])])
+    with pytest.raises(ValueError):
+        StackedMLP.from_models([])
+
+
+def test_backward_matches_per_leaf_backprop():
+    models = _models(3, seed=7)
+    stacked = StackedMLP.from_models(models)
+    rng = np.random.default_rng(8)
+    X = rng.normal(size=(3, 10, 3))
+    y = rng.normal(size=(3, 10))
+    loss = MSELoss()
+
+    idx = np.arange(3)
+    pred, cache = stacked.forward(X, idx)
+    grad = np.stack([loss.grad(pred[li], y[li]) for li in range(3)])
+    grads = stacked.backward(grad, cache)
+
+    for li, model in enumerate(models):
+        p = model.forward(X[li])
+        model.zero_grad()
+        model.backward(loss.grad(p, y[li]))
+        for stacked_g, model_g in zip(grads, model.grads):
+            np.testing.assert_allclose(stacked_g[li], model_g, rtol=1e-12, atol=1e-14)
+
+
+def test_backward_masked_padding_matches_compact_batches():
+    """Padded rows with zeroed loss gradient must contribute nothing: the
+    stacked grads for each leaf equal a compact per-leaf backward pass."""
+    models = _models(2, seed=3)
+    stacked = StackedMLP.from_models(models)
+    rng = np.random.default_rng(4)
+    counts = np.array([3, 5])
+    block = int(counts.max())
+    X = np.zeros((2, block, 3))
+    y = np.zeros((2, block))
+    for li, c in enumerate(counts):
+        X[li, :c] = rng.normal(size=(c, 3))
+        y[li, :c] = rng.normal(size=c)
+    valid = np.arange(block)[None, :] < counts[:, None]
+
+    idx = np.arange(2)
+    pred, cache = stacked.forward(X, idx)
+    diff = pred - y
+    grad = np.where(valid, 2.0 * diff / counts[:, None], 0.0)
+    grads = stacked.backward(grad, cache)
+
+    loss = MSELoss()
+    for li, c in enumerate(counts):
+        model = models[li]
+        p = model.forward(X[li, :c])
+        model.zero_grad()
+        model.backward(loss.grad(p, y[li, :c]))
+        for stacked_g, model_g in zip(grads, model.grads):
+            np.testing.assert_allclose(stacked_g[li], model_g, rtol=1e-12, atol=1e-14)
+
+
+def test_write_back_round_trips():
+    models = _models(3, seed=5)
+    stacked = StackedMLP.from_models(models)
+    for w in stacked.W:
+        w += 1.5
+    clones = _models(3, seed=5)
+    stacked.write_back(clones)
+    X = np.random.default_rng(6).normal(size=(4, 3))
+    for li, clone in enumerate(clones):
+        pred, _ = stacked.forward(X[None, :, :].copy(), np.array([li]))
+        np.testing.assert_array_equal(clone.forward(X), pred[0])
+
+
+# ------------------------------------------------------------- optimizers
+
+
+def _random_param_stacks(L, rng):
+    shapes = [(L, 4, 3), (L, 3)]
+    return [rng.normal(size=s) for s in shapes]
+
+
+@pytest.mark.parametrize("kind", ["adam", "sgd", "sgd-momentum"])
+def test_stacked_optimizer_matches_per_leaf_reference(kind):
+    """Per-leaf moments/step counts: leaves that skip steps (shorter batch
+    schedules, early-stopped) must see exactly the updates a dedicated
+    per-leaf optimizer would apply."""
+    L = 3
+    rng = np.random.default_rng(0)
+    params = _random_param_stacks(L, rng)
+    ref_params = [p.copy() for p in params]
+
+    if kind == "adam":
+        stacked_opt = StackedAdam(lr=1e-2)
+        ref_opts = [Adam(lr=1e-2) for _ in range(L)]
+    elif kind == "sgd":
+        stacked_opt = StackedSGD(lr=1e-2)
+        ref_opts = [SGD(lr=1e-2) for _ in range(L)]
+    else:
+        stacked_opt = StackedSGD(lr=1e-2, momentum=0.9)
+        ref_opts = [SGD(lr=1e-2, momentum=0.9) for _ in range(L)]
+
+    # Leaf 2 steps only on even iterations, mirroring a frozen/short leaf.
+    for it in range(7):
+        idx = np.arange(L) if it % 2 == 0 else np.array([0, 1])
+        grads = [rng.normal(size=(idx.size,) + p.shape[1:]) for p in params]
+        stacked_opt.step(params, grads, idx)
+        for k, leaf in enumerate(idx):
+            leaf_grads = [g[k] for g in grads]
+            leaf_params = [p[leaf] for p in ref_params]
+            ref_opts[leaf].step(leaf_params, leaf_grads)
+            for full, updated in zip(ref_params, leaf_params):
+                full[leaf] = updated
+
+    for p, ref in zip(params, ref_params):
+        np.testing.assert_array_equal(p, ref)
+
+
+def test_stacked_optimizers_validate_hyperparams():
+    with pytest.raises(ValueError):
+        StackedAdam(lr=0.0)
+    with pytest.raises(ValueError):
+        StackedSGD(lr=-1.0)
+    with pytest.raises(ValueError):
+        StackedSGD(lr=0.1, momentum=1.0)
+
+
+# ------------------------------------------------------------- StackedScaler
+
+
+def test_stacked_scaler_matches_per_group_standard_scaler():
+    rng = np.random.default_rng(1)
+    groups = [rng.normal(size=(n, 4)) for n in (5, 9, 3)]
+    stacked = StackedStandardScaler().fit(groups)
+    assert stacked.n_groups == 3
+    for gi, values in enumerate(groups):
+        ref = StandardScaler().fit(values)
+        np.testing.assert_array_equal(stacked.mean_[gi], ref.mean_)
+        np.testing.assert_array_equal(stacked.scale_[gi], ref.scale_)
+        np.testing.assert_array_equal(stacked.transform_group(gi, values), ref.transform(values))
+        sliced = stacked.scaler_for(gi)
+        np.testing.assert_array_equal(sliced.transform(values), ref.transform(values))
+
+
+def test_stacked_scaler_padded_transform_and_inverse():
+    rng = np.random.default_rng(2)
+    groups = [rng.normal(size=(4, 2)), rng.normal(size=(4, 2))]
+    scaler = StackedStandardScaler().fit(groups)
+    padded = np.stack(groups)
+    transformed = scaler.transform(padded)
+    for gi in range(2):
+        np.testing.assert_array_equal(transformed[gi], scaler.transform_group(gi, groups[gi]))
+    np.testing.assert_allclose(scaler.inverse_transform(transformed), padded, atol=1e-12)
+
+
+def test_stacked_scaler_targets_and_degenerate_scale():
+    ys = [np.array([2.0, 2.0, 2.0]), np.array([0.0, 1.0, 2.0])]
+    scaler = StackedStandardScaler().fit(ys)
+    assert scaler.mean_.shape == (2,)
+    assert scaler.scale_[0] == 1.0  # constant group keeps unit scale
+    round_trip = scaler.inverse_transform_group(1, scaler.transform_group(1, ys[1]))
+    np.testing.assert_allclose(round_trip, ys[1], atol=1e-12)
+
+
+def test_stacked_scaler_serialization_round_trip():
+    scaler = StackedStandardScaler().fit([np.array([[1.0, 2.0], [3.0, 4.0]])])
+    clone = StackedStandardScaler.from_dict(scaler.to_dict())
+    np.testing.assert_array_equal(clone.mean_, scaler.mean_)
+    np.testing.assert_array_equal(clone.scale_, scaler.scale_)
+
+
+def test_stacked_scaler_rejects_empty_inputs():
+    with pytest.raises(ValueError):
+        StackedStandardScaler().fit([])
+    with pytest.raises(ValueError):
+        StackedStandardScaler().fit([np.empty((0, 2))])
+    with pytest.raises(RuntimeError):
+        StackedStandardScaler().transform(np.zeros((1, 2, 2)))
+
+
+# ------------------------------------------------------------ StackedTrainer
+
+
+def _leaf_problems(L, sizes, seed):
+    """Random per-leaf regression problems with unequal sizes."""
+    rng = np.random.default_rng(seed)
+    Qs, ys = [], []
+    for n in sizes:
+        Q = rng.uniform(-1.0, 1.0, size=(n, 3))
+        w = rng.normal(size=3)
+        ys.append(Q @ w + 0.1 * rng.normal(size=n))
+        Qs.append(Q)
+    return Qs, ys
+
+
+def test_stacked_trainer_reproduces_sequential_trainer_exactly():
+    """Same seeds => same models: the stacked engine is the sequential loop
+    vectorized, down to batch order, early stopping and best-param restore."""
+    sizes = (23, 40, 17)  # unequal; batch_size 16 gives 2/3/2 batches per epoch
+    Qs, ys = _leaf_problems(3, sizes, seed=0)
+    cfg = TrainConfig(epochs=12, batch_size=16, lr=5e-3, patience=4, seed=0)
+    seeds = [11, 22, 33]
+
+    seq_models = [MLP(SIZES, seed=100 + li) for li in range(3)]
+    seq_regs = []
+    for li in range(3):
+        trainer = Trainer(TrainConfig(**{**cfg.__dict__, "seed": seeds[li]}))
+        seq_regs.append(trainer.fit(seq_models[li], Qs[li], ys[li]))
+
+    stk_models = [MLP(SIZES, seed=100 + li) for li in range(3)]
+    result = StackedTrainer(cfg).fit(stk_models, Qs, ys, seeds=seeds)
+
+    for li in range(3):
+        for p_seq, p_stk in zip(seq_models[li].params, stk_models[li].params):
+            np.testing.assert_array_equal(p_stk, p_seq)
+        assert result.regressors[li].history == pytest.approx(seq_regs[li].history, rel=1e-12)
+        np.testing.assert_array_equal(
+            result.regressors[li].predict(Qs[li]), seq_regs[li].predict(Qs[li])
+        )
+
+
+def test_stacked_trainer_sgd_backend_matches_sequential():
+    Qs, ys = _leaf_problems(2, (12, 20), seed=5)
+    cfg = TrainConfig(epochs=6, batch_size=8, lr=1e-2, optimizer="sgd", momentum=0.9, seed=0)
+    seq_models = [MLP(SIZES, seed=li) for li in range(2)]
+    for li in range(2):
+        Trainer(TrainConfig(**{**cfg.__dict__, "seed": 7 + li})).fit(
+            seq_models[li], Qs[li], ys[li]
+        )
+    stk_models = [MLP(SIZES, seed=li) for li in range(2)]
+    StackedTrainer(cfg).fit(stk_models, Qs, ys, seeds=[7, 8])
+    for li in range(2):
+        for p_seq, p_stk in zip(seq_models[li].params, stk_models[li].params):
+            np.testing.assert_array_equal(p_stk, p_seq)
+
+
+def test_per_leaf_early_stop_freezes_converged_leaf_only():
+    """A leaf that plateaus freezes (shorter history, params restored to its
+    best epoch) while the other leaves keep training to the epoch budget."""
+    rng = np.random.default_rng(9)
+    # Leaf 0: pure-noise targets — the loss sits at the noise floor, so
+    # relative improvements drop under min_delta and patience trips early.
+    Q0 = rng.uniform(size=(30, 3))
+    y0 = rng.normal(size=30)
+    # Leaf 1: a real function, keeps improving across the budget.
+    Q1 = rng.uniform(-1, 1, size=(64, 3))
+    y1 = Q1 @ np.array([2.0, -1.0, 0.5])
+    cfg = TrainConfig(epochs=40, batch_size=16, lr=1e-3, patience=3, min_delta=1e-3, seed=0)
+    models = [MLP(SIZES, seed=1), MLP(SIZES, seed=2)]
+    result = StackedTrainer(cfg).fit(models, [Q0, Q1], [y0, y1], seeds=[4, 5])
+
+    hist0 = result.regressors[0].history
+    hist1 = result.regressors[1].history
+    assert len(hist0) < len(hist1), "plateaued leaf must stop before the budget"
+    assert len(hist1) == 40, "improving leaf must use the whole budget"
+
+    # The frozen leaf's final params equal its sequential reference, which
+    # early-stops at the same epoch. (Mixed-size batches go through padded
+    # blocks whose BLAS kernels may differ in the last ulp, hence allclose
+    # rather than array_equal here.)
+    ref_model = MLP(SIZES, seed=1)
+    ref = Trainer(TrainConfig(**{**cfg.__dict__, "seed": 4})).fit(ref_model, Q0, y0)
+    assert len(ref.history) == len(hist0)
+    for p_seq, p_stk in zip(ref_model.params, models[0].params):
+        np.testing.assert_allclose(p_stk, p_seq, rtol=1e-12, atol=1e-15)
+
+
+def test_stacked_trainer_standardize_off_matches_sequential():
+    Qs, ys = _leaf_problems(2, (10, 14), seed=6)
+    cfg = TrainConfig(
+        epochs=4, batch_size=8, lr=1e-3, standardize_inputs=False,
+        standardize_targets=False, seed=0,
+    )
+    seq_models = [MLP(SIZES, seed=li) for li in range(2)]
+    for li in range(2):
+        Trainer(TrainConfig(**{**cfg.__dict__, "seed": li})).fit(seq_models[li], Qs[li], ys[li])
+    stk_models = [MLP(SIZES, seed=li) for li in range(2)]
+    result = StackedTrainer(cfg).fit(stk_models, Qs, ys, seeds=[0, 1])
+    assert result.x_scaler is None and result.y_scaler is None
+    for li in range(2):
+        for p_seq, p_stk in zip(seq_models[li].params, stk_models[li].params):
+            np.testing.assert_array_equal(p_stk, p_seq)
+
+
+def test_stacked_trainer_input_validation():
+    models = [MLP(SIZES, seed=0)]
+    Q = np.zeros((4, 3))
+    y = np.zeros(4)
+    with pytest.raises(ValueError):
+        StackedTrainer().fit([], [], [])
+    with pytest.raises(ValueError):
+        StackedTrainer().fit(models, [Q], [y, y])
+    with pytest.raises(ValueError):
+        StackedTrainer().fit(models, [Q], [np.zeros(3)])
+    with pytest.raises(ValueError):
+        StackedTrainer().fit(models, [np.zeros((0, 3))], [np.zeros(0)])
+    with pytest.raises(ValueError):
+        StackedTrainer().fit(models, [Q], [y], seeds=[1, 2])
+    with pytest.raises(ValueError):
+        StackedTrainer(TrainConfig(optimizer="bogus")).fit(models, [Q], [y])
+
+
+def test_stacked_trainer_converges_on_linear_function():
+    rng = np.random.default_rng(4)
+    X = rng.uniform(-1.0, 1.0, size=(400, 2))
+    targets = [
+        2.0 * X[:, 0] - 3.0 * X[:, 1] + 1.0,
+        -1.0 * X[:, 0] + 0.5 * X[:, 1],
+    ]
+    models = [MLP([2, 16, 1], seed=5), MLP([2, 16, 1], seed=6)]
+    cfg = TrainConfig(epochs=120, batch_size=32, lr=1e-2, seed=6)
+    result = StackedTrainer(cfg).fit(models, [X, X], targets, seeds=[6, 7])
+    for li, y in enumerate(targets):
+        pred = result.regressors[li].predict(X)
+        rel_rmse = np.sqrt(np.mean((pred - y) ** 2)) / y.std()
+        assert rel_rmse < 0.05
+        assert len(result.regressors[li].history) > 5

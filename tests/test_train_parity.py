@@ -1,0 +1,138 @@
+"""Stacked-vs-sequential training parity: same seeds => same models.
+
+The stacked engine is the sequential Alg.-4 loop vectorized across leaves;
+with identical seeds the two backends must produce matching models. Mixed
+per-leaf batch shapes can differ from the compact per-leaf shapes in the
+last BLAS ulp, so predictions are compared tightly (1e-9) and the headline
+error metrics (MAE/RMSE) to 1e-6 relative, as the refactor contract demands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.neurosketch import NeuroSketch
+from repro.data import load_dataset
+from repro.data.dataset import Dataset
+from repro.nn.training import TrainConfig
+from repro.queries import QueryFunction, WorkloadGenerator
+
+
+def _fit_both(qf, Q, y, **sketch_kwargs):
+    cfg = sketch_kwargs.pop(
+        "train_config", TrainConfig(epochs=10, batch_size=32, lr=1e-2, seed=3)
+    )
+    fitted = {}
+    for backend in ("sequential", "stacked"):
+        sketch = NeuroSketch(train_config=cfg, train_backend=backend, seed=7, **sketch_kwargs)
+        fitted[backend] = sketch.fit(qf, Q, y)
+    return fitted
+
+
+def _assert_parity(fitted, Q_test, y_test):
+    pred_seq = fitted["sequential"].predict(Q_test)
+    pred_stk = fitted["stacked"].predict(Q_test)
+    np.testing.assert_allclose(pred_stk, pred_seq, rtol=1e-9, atol=1e-9)
+    mae = {k: float(np.mean(np.abs(p - y_test))) for k, p in
+           (("sequential", pred_seq), ("stacked", pred_stk))}
+    rmse = {k: float(np.sqrt(np.mean((p - y_test) ** 2))) for k, p in
+            (("sequential", pred_seq), ("stacked", pred_stk))}
+    assert mae["stacked"] == pytest.approx(mae["sequential"], rel=1e-6, abs=1e-12)
+    assert rmse["stacked"] == pytest.approx(rmse["sequential"], rel=1e-6, abs=1e-12)
+
+
+@pytest.mark.parametrize("aggregate", ["COUNT", "SUM", "AVG", "STD"])
+def test_backend_parity_across_aggregates(aggregate):
+    ds = load_dataset("synthetic", n=600, seed=0)
+    qf = QueryFunction.axis_range(ds, aggregate=aggregate)
+    wl = WorkloadGenerator(qf, seed=1)
+    Q, y = wl.labelled_sample(260)
+    Q_test, y_test = wl.labelled_sample(80)
+    fitted = _fit_both(
+        qf, Q, y, tree_height=2, n_partitions=None, depth=3, width_first=16, width_rest=8
+    )
+    _assert_parity(fitted, Q_test, y_test)
+
+
+def test_backend_parity_on_1d_data():
+    rng = np.random.default_rng(5)
+    raw = rng.normal(0.5, 0.2, size=(500, 1))
+    ds = Dataset(raw, columns=("v",), measure="v", name="1d")
+    qf = QueryFunction.axis_range(ds, aggregate="AVG")
+    wl = WorkloadGenerator(qf, seed=2)
+    Q, y = wl.labelled_sample(240)
+    Q_test, y_test = wl.labelled_sample(60)
+    fitted = _fit_both(
+        qf, Q, y, tree_height=2, n_partitions=None, depth=3, width_first=12, width_rest=6
+    )
+    _assert_parity(fitted, Q_test, y_test)
+
+
+def test_backend_parity_deep_tree():
+    """tree_height >= 6: 64 leaves with tiny, unequal training slices —
+    the regime the stacked engine exists for."""
+    ds = load_dataset("synthetic", n=900, seed=3)
+    qf = QueryFunction.axis_range(ds, aggregate="AVG")
+    wl = WorkloadGenerator(qf, seed=4)
+    Q, y = wl.labelled_sample(700)
+    Q_test, y_test = wl.labelled_sample(80)
+    fitted = _fit_both(
+        qf, Q, y,
+        tree_height=6, n_partitions=None, depth=2, width_first=8, width_rest=4,
+        train_config=TrainConfig(epochs=6, batch_size=8, lr=1e-2, seed=9),
+    )
+    assert fitted["stacked"].tree.n_leaves == 64
+    _assert_parity(fitted, Q_test, y_test)
+
+
+def test_backend_parity_with_merged_skewed_leaves():
+    """AQC merging yields leaves of very different sizes; the bucketed batch
+    schedule must still reproduce the sequential backend."""
+    ds = load_dataset("synthetic", n=800, seed=6)
+    qf = QueryFunction.axis_range(ds, aggregate="SUM")
+    wl = WorkloadGenerator(qf, seed=7)
+    Q, y = wl.labelled_sample(400)
+    Q_test, y_test = wl.labelled_sample(60)
+    fitted = _fit_both(
+        qf, Q, y, tree_height=4, n_partitions=5, depth=3, width_first=12, width_rest=6
+    )
+    sizes = sorted(len(leaf.indices) for leaf in fitted["stacked"].tree.leaves())
+    assert sizes[0] < sizes[-1]  # genuinely skewed
+    _assert_parity(fitted, Q_test, y_test)
+
+
+def test_backend_parity_sgd_optimizer():
+    ds = load_dataset("synthetic", n=500, seed=8)
+    qf = QueryFunction.axis_range(ds, aggregate="AVG")
+    wl = WorkloadGenerator(qf, seed=9)
+    Q, y = wl.labelled_sample(200)
+    Q_test, y_test = wl.labelled_sample(50)
+    fitted = _fit_both(
+        qf, Q, y,
+        tree_height=2, n_partitions=None, depth=2, width_first=8, width_rest=4,
+        train_config=TrainConfig(epochs=8, batch_size=16, lr=1e-2, optimizer="sgd", seed=1),
+    )
+    _assert_parity(fitted, Q_test, y_test)
+
+
+def test_stacked_fit_compiles_directly_from_stack():
+    """The stacked backend hands its trained stack straight to the compiled
+    engine; the result must match a from-scratch compilation of the same
+    sketch exactly."""
+    from repro.core.compiled import CompiledSketch
+
+    ds = load_dataset("synthetic", n=500, seed=2)
+    qf = QueryFunction.axis_range(ds, aggregate="AVG")
+    wl = WorkloadGenerator(qf, seed=3)
+    Q, y = wl.labelled_sample(200)
+    sketch = NeuroSketch(
+        tree_height=2, n_partitions=None, depth=3, width_first=12, width_rest=6,
+        train_config=TrainConfig(epochs=4, batch_size=32, seed=0), seed=0,
+    ).fit(qf, Q, y)
+    pre_compiled = sketch._compiled
+    assert pre_compiled is not None, "stacked fit must precompile from the stack"
+    rebuilt = CompiledSketch.from_sketch(sketch)
+    np.testing.assert_array_equal(pre_compiled.predict(Q), rebuilt.predict(Q))
+    assert pre_compiled.num_bytes() == rebuilt.num_bytes()
+    # The cached compiled engine is what compile() returns.
+    assert sketch.compile() is pre_compiled
+    np.testing.assert_array_equal(sketch.predict(Q, compiled=True), sketch.predict(Q))
