@@ -169,6 +169,7 @@ def build_estimator(
     train_backend: str = "stacked",
     sample_frac: float = 0.1,
     compile: bool = True,
+    infer_dtype: str = "float64",
 ) -> Estimator:
     """Instantiate a registered estimator with experiment-level knobs.
 
@@ -192,4 +193,5 @@ def build_estimator(
         train_backend=train_backend,
         sample_frac=sample_frac,
         compile=compile,
+        infer_dtype=infer_dtype,
     )

@@ -89,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-compile", action="store_true",
                      help="serve NeuroSketch through the object path instead of "
                           "the compiled packed-array engine (escape hatch)")
+    run.add_argument("--infer-dtype", choices=("float32", "float64"), default="float32",
+                     help="compiled-engine execution tier the benchmark serves "
+                          "(float32: serving default; float64: bit-parity reference)")
     run.add_argument("--fast", action="store_true",
                      help="CI smoke profile: tiny workload, epochs <= 5")
     run.add_argument("--name", default=None,
@@ -110,6 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch size flush trigger")
     serve.add_argument("--max-delay-ms", type=float, default=2.0,
                        help="micro-batch deadline flush trigger, milliseconds")
+    serve.add_argument("--infer-dtype", choices=("float32", "float64"), default="float32",
+                       help="execution tier for the served sketch (float32 default)")
     serve.add_argument("--no-cache", action="store_true", help="disable the answer cache")
     serve.add_argument("--cache-resolution", type=float, default=1e-4,
                        help="answer-cache quantization grid step")
@@ -119,6 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser("query", help="one-shot ask against a saved sketch")
     query.add_argument("--sketch", required=True, metavar="PATH",
                        help="saved sketch artifact (NeuroSketch or compiled form)")
+    query.add_argument("--infer-dtype", choices=("float32", "float64"), default="float32",
+                       help="execution tier (must match a `repro serve` it is compared to)")
     query.add_argument("values", nargs="+",
                        help="query vector components (space- or comma-separated)")
 
@@ -172,6 +179,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             train_backend=args.train_backend,
             sample_frac=args.sample_frac,
             compile=not args.no_compile,
+            infer_dtype=args.infer_dtype,
             fast=args.fast,
         )
         name = args.name if args.name else _default_bench_name(args.dataset)
@@ -219,7 +227,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import AnswerCache, SketchService, load_sketch
 
     try:
-        sketch = load_sketch(args.sketch)
+        sketch = load_sketch(args.sketch, dtype=args.infer_dtype)
     # EOFError: a truncated gzip stream ends without the stream marker.
     except (OSError, ValueError, EOFError) as exc:
         return _operator_error(exc)
@@ -273,10 +281,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.serve import load_sketch
 
     try:
-        sketch = load_sketch(args.sketch)
+        sketch = load_sketch(args.sketch, dtype=args.infer_dtype)
         q = _parse_query_vector(args.values)
-        # The 1-row batch path, so a one-shot query computes exactly what
-        # the service's micro-batched flush would for the same vector.
+        # A 1-row predict runs the scalar kernel, so a one-shot query
+        # computes exactly what a single-query service flush would for the
+        # same vector (a multi-query flush takes the segmented gemm path,
+        # which may differ in the last ulps).
         answer = float(sketch.predict(q[None, :])[0])
     # EOFError: a truncated gzip stream ends without the stream marker.
     except (OSError, ValueError, EOFError) as exc:

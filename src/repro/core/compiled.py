@@ -10,32 +10,75 @@ server would actually run:
 - :class:`FlatTree` — the kd-tree flattened into struct-of-arrays form
   (``split_dim``, ``split_val``, ``left``, ``right``, ``leaf_id`` integer
   arrays) with an iterative, fully vectorized :meth:`FlatTree.route_batch`
-  (one numpy step per tree *level*, never per query) and a scalar
+  (one numpy step per tree *level*, never per query; leaves self-loop so
+  the loop needs no active-set bookkeeping) and a scalar
   :meth:`FlatTree.route_one` that walks plain Python lists.
-- :class:`CompiledSketch` — per-leaf MLP weights stacked into 3-D tensors,
-  one ``(n_leaves, fan_in, fan_out)`` tensor per layer per architecture
-  group, so :meth:`CompiledSketch.predict` pads each leaf's queries to a
-  common block and runs one grouped batched matmul per layer, and
-  :meth:`CompiledSketch.predict_one` runs a single forward pass through
-  preallocated buffers.
+- :class:`CompiledSketch` — per-leaf MLP weights stacked into 3-D tensors
+  and lowered to a *precision-tiered, sort-segmented execution plan*:
 
-The compiled path computes the *same* float64 operations as the object path
-(scalers are applied elementwise, not folded into the weights), so its
-answers agree with the reference path to BLAS rounding — the parity suite
-(``tests/test_compiled.py``) asserts agreement to 1e-12.
+  * **sort-segmented schedule** — a batch is argsorted by leaf slot once,
+    so each leaf's queries form one contiguous segment of the sorted
+    activation buffers; every layer then runs one contiguous matmul per
+    occupied slot-segment (no zero-padded rows, no padded-block gathers)
+    and the answers scatter back through the inverse permutation.
+  * **fused normalization** — the per-leaf input standardization
+    (``x_mean``/``x_scale``) is folded into the first layer's weights and
+    the target de-standardization (``y_mean``/``y_scale``) into the last
+    layer's at compile time, and each affine layer is *augmented* with its
+    bias row plus a carried ones-column, so a layer is exactly one matmul
+    (plus ReLU) — no elementwise normalization or bias passes remain.
+  * **dtype tiers** — ``float64`` is the bit-parity reference tier (the
+    parity suite holds it to 1e-12 of the object path; fusing the
+    normalization reassociates a few flops, which lands ~1e-14 away);
+    ``float32`` is the serving tier, ~2x less memory traffic and ~2x BLAS
+    throughput for a relative deviation bounded by the tolerance checked
+    in the golden suite (1e-5, orders below the model's own error).
+    Routing always happens in float64, so both tiers pick identical leaves.
+  * **scratch arenas** — activation buffers, routing buffers and the
+    scalar-path workspace are preallocated and reused across calls, so the
+    steady-state serving path performs no per-call tensor allocations
+    beyond the returned answers and O(m) index metadata.
 
-``predict_one`` reuses preallocated scratch buffers and is therefore not
-re-entrant; use one :class:`CompiledSketch` per thread.
+The engine serializes its *canonical* form — unfused float64 weights plus
+scaler statistics, exactly the PR-2 payload plus a ``dtype`` tag — so
+artifacts round-trip losslessly across tiers and old payloads load
+unchanged. The pre-segmentation padded schedule is kept verbatim as
+:meth:`CompiledSketch.predict_padded` / :meth:`_LeafGroup
+.forward_batch_padded`: it is the equivalence oracle for the segmented
+schedule and the baseline behind the ``speedup_vs_padded`` BENCH field.
+
+Scratch arenas are guarded by a per-sketch lock, so ``predict`` and
+``predict_one`` are safe to call from multiple threads (calls serialize;
+for parallelism use one :class:`CompiledSketch` per thread, e.g. via
+:meth:`with_dtype` on a shared canonical sketch).
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import threading
 
 import numpy as np
 
 from repro.nn.network import BYTES_PER_PARAM, MLP
+
+#: Execution dtype tiers: name -> numpy dtype. ``float64`` is the bit-parity
+#: reference; ``float32`` is the serving tier (see the module docstring).
+DTYPE_TIERS = {"float64": np.float64, "float32": np.float32}
+
+#: The tier a server should run: model error dwarfs single-precision noise.
+DEFAULT_SERVING_DTYPE = "float32"
+
+
+def resolve_dtype(name: str) -> np.dtype:
+    """Validate a tier name (``"float64"``/``"float32"``) into a dtype."""
+    try:
+        return DTYPE_TIERS[name]
+    except KeyError:
+        raise ValueError(
+            f"dtype must be one of {sorted(DTYPE_TIERS)}, got {name!r}"
+        ) from None
 
 
 class FlatTree:
@@ -60,6 +103,10 @@ class FlatTree:
         "_lc",
         "_rc",
         "_lid",
+        "_rdim",
+        "_rval",
+        "_rchild",
+        "_depth",
     )
 
     def __init__(
@@ -90,6 +137,32 @@ class FlatTree:
         self._lc = self.left.tolist()
         self._rc = self.right.tolist()
         self._lid = self.leaf_id.tolist()
+        self._build_route_tables()
+
+    def _build_route_tables(self) -> None:
+        """Branch-free batch-routing tables: leaves self-loop.
+
+        ``_rchild`` is the ``(n, 2)`` child table flattened so the next node
+        is one gather at ``2*node + go_right``; a leaf's both slots point at
+        itself, so the level loop can run to the tree's max depth without
+        tracking which queries already settled. ``_depth`` is that max
+        depth (merged trees are ragged; extra iterations are no-ops).
+        """
+        n = self.split_dim.shape[0]
+        is_leaf = self.split_dim < 0
+        self_idx = np.arange(n, dtype=np.int64)
+        self._rdim = np.where(is_leaf, 0, self.split_dim)
+        self._rval = self.split_val.copy()
+        child = np.empty((n, 2), dtype=np.int64)
+        child[:, 0] = np.where(is_leaf, self_idx, self.left)
+        child[:, 1] = np.where(is_leaf, self_idx, self.right)
+        self._rchild = np.ascontiguousarray(child.reshape(-1))
+        depth = np.zeros(n, dtype=np.int64)
+        for i in range(n):  # preorder: children always follow their parent
+            if not is_leaf[i]:
+                depth[self.left[i]] = depth[i] + 1
+                depth[self.right[i]] = depth[i] + 1
+        self._depth = int(depth[is_leaf].max())
 
     def _validate_structure(self) -> None:
         """Reject payloads that could make routing loop, crash or mislabel.
@@ -167,17 +240,33 @@ class FlatTree:
 
     # ---------------------------------------------------------------- routing
 
-    def route_batch(self, Q: np.ndarray) -> np.ndarray:
-        """Leaf ids for ``(m, d)`` queries; one vectorized step per level."""
+    def route_batch(
+        self, Q: np.ndarray, node: np.ndarray | None = None, rows: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Leaf ids for ``(m, d)`` queries; one vectorized step per level.
+
+        ``node`` (int64, length >= m) and ``rows`` (an ``arange`` of length
+        >= m) are optional scratch buffers a caller may preallocate; the
+        remaining per-level temporaries are O(m) and short-lived.
+        """
         Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
-        node = np.zeros(Q.shape[0], dtype=np.int64)
-        active = np.flatnonzero(self.split_dim[node] >= 0)
-        while active.size:
-            cur = node[active]
-            go_left = Q[active, self.split_dim[cur]] <= self.split_val[cur]
-            nxt = np.where(go_left, self.left[cur], self.right[cur])
-            node[active] = nxt
-            active = active[self.split_dim[nxt] >= 0]
+        m = Q.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.int64)
+        if node is None:
+            node = np.zeros(m, dtype=np.int64)
+        else:
+            node = node[:m]
+            node[:] = 0
+        rows = np.arange(m) if rows is None else rows[:m]
+        for _ in range(self._depth):
+            # go_left uses <= exactly like route_one; a leaf's table entries
+            # self-loop, so settled queries step in place.
+            go_left = Q[rows, self._rdim[node]] <= self._rval[node]
+            node <<= 1
+            node += 1
+            node -= go_left
+            node = self._rchild[node]
         return self.leaf_id[node]
 
     def route_one(self, q: np.ndarray) -> int:
@@ -215,10 +304,22 @@ class FlatTree:
 class _LeafGroup:
     """Leaves sharing one MLP architecture, weights stacked per layer.
 
-    ``W[l]`` has shape ``(g, fan_in, fan_out)`` and ``b[l]`` shape
-    ``(g, fan_out)`` where ``g`` is the number of leaves in the group;
-    scaler statistics are stacked alongside (identity statistics stand in
-    for absent scalers, which reproduces the unscaled path bit-for-bit).
+    Canonical storage is float64 and unfused: ``W[l]`` has shape
+    ``(g, fan_in, fan_out)`` and ``b[l]`` shape ``(g, fan_out)`` where ``g``
+    is the number of leaves in the group, with scaler statistics stacked
+    alongside (identity statistics stand in for absent scalers). That is
+    what serializes, what ``num_params`` counts and what the padded
+    reference path (:meth:`forward_batch_padded`) runs.
+
+    At construction the group lowers itself to an execution plan for its
+    dtype tier: per layer one *augmented fused* tensor ``_A[l]`` of shape
+    ``(g, fan_in + 1, cols)`` holding ``[[W', 0], [b', 1]]`` — ``W'``/``b'``
+    are the weights with the x-scaler folded into layer 0 and the y-scaler
+    into the last layer, the extra row applies the bias, and the extra
+    column (hidden layers only) carries a ones-lane through the network so
+    activations stay augmented. One matmul per (layer, segment) is then the
+    *entire* layer; ReLU runs once per layer over the whole sorted buffer
+    (the ones-lane is unaffected: ``relu(1) == 1``).
     """
 
     __slots__ = (
@@ -230,10 +331,16 @@ class _LeafGroup:
         "x_scale",
         "y_mean",
         "y_scale",
-        "_y_mean_list",
-        "_y_scale_list",
+        "dtype_name",
+        "_dtype",
+        "_A",
+        "_slot_A",
+        "_cols",
         "_one_bufs",
-        "_x_buf",
+        "_x_one",
+        "_cap",
+        "_qflat",
+        "_hflat",
     )
 
     def __init__(
@@ -246,6 +353,7 @@ class _LeafGroup:
         x_scale: np.ndarray,
         y_mean: np.ndarray,
         y_scale: np.ndarray,
+        dtype: str = "float64",
     ) -> None:
         self.layer_sizes = list(layer_sizes)
         self.leaf_ids = list(leaf_ids)
@@ -273,11 +381,81 @@ class _LeafGroup:
                 f"y scaler stats must have shape ({g},), got "
                 f"{self.y_mean.shape}/{self.y_scale.shape}"
             )
-        # Scalar-path scratch: one buffer per layer, reused across calls.
-        self._y_mean_list = self.y_mean.tolist()
-        self._y_scale_list = self.y_scale.tolist()
-        self._one_bufs = [np.empty(w.shape[2]) for w in self.W]
-        self._x_buf = np.empty(self.layer_sizes[0])
+        self.dtype_name = str(dtype)
+        self._dtype = resolve_dtype(self.dtype_name)
+        self._build_plan()
+        # Batch arena grows on demand (geometrically) and is reused across
+        # calls; the scalar-path buffers are fixed-size.
+        self._cap = 0
+        self._qflat = None
+        self._hflat = None
+
+    # ------------------------------------------------------------------- plan
+
+    def _build_plan(self) -> None:
+        """Lower canonical weights to fused augmented tensors (see class doc).
+
+        Folding the scalers reassociates a handful of flops per unit —
+        ``x @ (W/s) + (b - (m/s) @ W)`` instead of ``((x-m)/s) @ W + b`` —
+        which perturbs float64 answers at the 1e-14 level, two orders inside
+        the 1e-12 parity budget.
+        """
+        inv = 1.0 / self.x_scale
+        fused_W = [w for w in self.W]
+        fused_b = [x for x in self.b]
+        fused_b[0] = fused_b[0] - np.einsum("gi,gio->go", self.x_mean * inv, fused_W[0])
+        fused_W[0] = fused_W[0] * inv[:, :, None]
+        fused_W[-1] = fused_W[-1] * self.y_scale[:, None, None]
+        fused_b[-1] = fused_b[-1] * self.y_scale[:, None] + self.y_mean[:, None]
+        g = len(self.leaf_ids)
+        n_aff = len(fused_W)
+        A: list[np.ndarray] = []
+        for li, (w, bias) in enumerate(zip(fused_W, fused_b)):
+            fan_in, fan_out = w.shape[1], w.shape[2]
+            last = li == n_aff - 1
+            cols = fan_out if last else fan_out + 1
+            a = np.zeros((g, fan_in + 1, cols), dtype=self._dtype)
+            a[:, :fan_in, :fan_out] = w
+            a[:, fan_in, :fan_out] = bias
+            if not last:
+                a[:, fan_in, fan_out] = 1.0  # the carried ones-lane
+            A.append(a)
+        self._A = A
+        self._cols = [a.shape[2] for a in A]
+        # Per-slot per-layer weight views as plain Python lists: the segment
+        # loop and the scalar path index them without numpy dispatch.
+        self._slot_A = [[a[s] for a in A] for s in range(g)]
+        self._one_bufs = [np.empty(c, dtype=self._dtype) for c in self._cols]
+        self._x_one = np.ones(self.layer_sizes[0] + 1, dtype=self._dtype)
+
+    def with_dtype(self, dtype: str) -> "_LeafGroup":
+        """This group lowered to another tier (canonical arrays are shared)."""
+        if dtype == self.dtype_name:
+            return self
+        return _LeafGroup(
+            self.layer_sizes,
+            self.leaf_ids,
+            self.W,
+            self.b,
+            self.x_mean,
+            self.x_scale,
+            self.y_mean,
+            self.y_scale,
+            dtype=dtype,
+        )
+
+    def _ensure_arena(self, m: int) -> None:
+        if m <= self._cap:
+            return
+        cap = max(2 * self._cap, m, 256)
+        d1 = self.layer_sizes[0] + 1
+        qflat = np.empty(cap * d1, dtype=self._dtype)
+        # The ones-lane of the input buffer is data-independent: set it once
+        # here, and every (rows, d1)-shaped view of the flat buffer sees it.
+        qflat.reshape(cap, d1)[:, d1 - 1] = 1.0
+        self._qflat = qflat
+        self._hflat = [np.empty(cap * c, dtype=self._dtype) for c in self._cols]
+        self._cap = cap
 
     @property
     def n_leaves(self) -> int:
@@ -294,11 +472,85 @@ class _LeafGroup:
 
     # ---------------------------------------------------------------- forward
 
-    def forward_batch(self, Q: np.ndarray, slots: np.ndarray) -> np.ndarray:
+    def forward_batch(self, Q: np.ndarray, slots: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Answers for queries ``Q`` where ``slots[i]`` is each query's
-        within-group leaf slot. One batched matmul per layer: queries are
-        padded per leaf to a common block length, so the whole group runs
-        as ``(g_used, block, fan_in) @ (g_used, fan_in, fan_out)``.
+        within-group leaf slot (sort-segmented schedule).
+
+        Queries are argsorted by slot once; each layer then runs one
+        contiguous matmul per occupied slot-segment over the arena buffers,
+        ReLU fires once per layer across the whole sorted batch, and the
+        final column scatters back through the permutation. Not re-entrant
+        (arena reuse) — :class:`CompiledSketch` serializes callers.
+        """
+        m = Q.shape[0]
+        if out is None:
+            out = np.empty(m, dtype=np.float64)
+        if m == 0:
+            return out
+        self._ensure_arena(m)
+        d = self.layer_sizes[0]
+        X = self._qflat[: m * (d + 1)].reshape(m, d + 1)
+        counts = np.bincount(slots, minlength=self.n_leaves)
+        if counts.max() == m:
+            # Single occupied slot (hot leaf, or a routed sub-batch): the
+            # batch is one segment already — skip the sort and the scatter.
+            order = None
+            X[:, :d] = Q
+            segs = [slice(0, m)]
+            plans = [self._slot_A[int(slots[0])]]
+        else:
+            order = np.argsort(slots, kind="stable")
+            X[:, :d] = Q[order]
+            used = np.flatnonzero(counts)
+            segs = []
+            plans = []
+            s0 = 0
+            for slot, s1 in zip(used.tolist(), np.cumsum(counts[used]).tolist()):
+                segs.append(slice(s0, s1))
+                plans.append(self._slot_A[slot])
+                s0 = s1
+        H = X
+        hflat, cols, matmul = self._hflat, self._cols, np.matmul
+        n_aff = len(self._A)
+        last = n_aff - 1
+        for li in range(n_aff):
+            O = hflat[li][: m * cols[li]].reshape(m, cols[li])
+            for seg, plan in zip(segs, plans):
+                matmul(H[seg], plan[li], out=O[seg])
+            if li != last:
+                np.maximum(O, 0.0, out=O)
+            H = O
+        if order is None:
+            out[:] = H[:, 0]
+        else:
+            out[order] = H[:, 0]
+        return out
+
+    def forward_one(self, q: np.ndarray, slot: int) -> float:
+        """Single forward pass through the preallocated scalar buffers."""
+        x = self._x_one
+        x[:-1] = q  # cast into the tier; the augmented ones-slot is preset
+        h = x
+        plan = self._slot_A[slot]
+        last = len(plan) - 1
+        for li, a in enumerate(plan):
+            buf = self._one_bufs[li]
+            np.matmul(h, a, out=buf)
+            if li != last:
+                np.maximum(buf, 0.0, out=buf)
+            h = buf
+        return float(h[0])
+
+    def forward_batch_padded(self, Q: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        """Reference padded schedule (the pre-segmentation PR-2 engine).
+
+        Float64, unfused, elementwise scalers: queries are padded per leaf
+        to a common block and the whole group runs as
+        ``(g_used, block, fan_in) @ (g_used, fan_in, fan_out)`` batched
+        matmuls, falling back to a per-leaf loop when padding would inflate
+        a skewed batch by more than ~4x. Kept as the equivalence oracle for
+        the segmented schedule and the ``speedup_vs_padded`` baseline;
+        allocates its own temporaries, so it is pure and thread-safe.
         """
         m = Q.shape[0]
         out = np.empty(m, dtype=np.float64)
@@ -310,11 +562,6 @@ class _LeafGroup:
         used = np.flatnonzero(counts)
         used_counts = counts[used]
         block = int(used_counts.max())
-        # Padding cost is n_used * block cells; on a balanced kd-tree that is
-        # ~m, but a skewed batch (one hot leaf plus stragglers) can inflate
-        # it by a factor of n_used. Fall back to a per-leaf loop — still one
-        # gemm per layer per leaf, never per query — when padding would
-        # waste more than ~4x the dense size.
         if used.size * block > 4 * m + 1024:
             starts = np.concatenate(([0], np.cumsum(used_counts)))
             last = self.n_layers - 1
@@ -346,22 +593,6 @@ class _LeafGroup:
         out[order] = H[row, col, 0] * self.y_scale[sorted_slots] + self.y_mean[sorted_slots]
         return out
 
-    def forward_one(self, q: np.ndarray, slot: int) -> float:
-        """Single forward pass through the preallocated buffers."""
-        x = self._x_buf
-        np.subtract(q, self.x_mean[slot], out=x)
-        np.divide(x, self.x_scale[slot], out=x)
-        h = x
-        last = self.n_layers - 1
-        for li in range(self.n_layers):
-            buf = self._one_bufs[li]
-            np.matmul(h, self.W[li][slot], out=buf)
-            buf += self.b[li][slot]
-            if li != last:
-                np.maximum(buf, 0.0, out=buf)
-            h = buf
-        return float(h[0]) * self._y_scale_list[slot] + self._y_mean_list[slot]
-
     # ------------------------------------------------------------ persistence
 
     def to_dict(self) -> dict:
@@ -377,7 +608,7 @@ class _LeafGroup:
         }
 
     @classmethod
-    def from_dict(cls, state: dict) -> "_LeafGroup":
+    def from_dict(cls, state: dict, dtype: str = "float64") -> "_LeafGroup":
         return cls(
             state["layer_sizes"],
             state["leaf_ids"],
@@ -387,6 +618,7 @@ class _LeafGroup:
             np.asarray(state["x_scale"]),
             np.asarray(state["y_mean"]),
             np.asarray(state["y_scale"]),
+            dtype=dtype,
         )
 
 
@@ -396,7 +628,9 @@ class CompiledSketch:
     Build one with :meth:`from_sketch` (or ``NeuroSketch.compile()``); it
     holds no references to the source sketch and serializes independently
     (:meth:`to_dict`/:meth:`from_dict`, :meth:`save`/:meth:`load`), so
-    persisted sketches load straight into the fast path.
+    persisted sketches load straight into the fast path. ``dtype`` selects
+    the execution tier (see the module docstring); :meth:`with_dtype`
+    re-tiers cheaply because the canonical weights are tier-independent.
     """
 
     def __init__(
@@ -418,14 +652,33 @@ class CompiledSketch:
             g, s = int(self.leaf_group[lid]), int(self.leaf_slot[lid])
             if not (0 <= g < len(self.groups)) or not (0 <= s < self.groups[g].n_leaves):
                 raise ValueError(f"leaf {lid} maps to missing group slot ({g}, {s})")
+        tiers = {g.dtype_name for g in self.groups}
+        if len(tiers) != 1:
+            raise ValueError(f"all leaf groups must share one dtype tier, got {sorted(tiers)}")
+        self.dtype_name = tiers.pop()
+        # Scalar-path leaf maps as Python lists, routing scratch, and the
+        # engine lock: arenas are shared state, so concurrent predict /
+        # predict_one calls serialize instead of corrupting each other.
+        self._lg_list = self.leaf_group.tolist()
+        self._ls_list = self.leaf_slot.tolist()
+        # from_stack layouts map leaf id i to slot i; skip the gather then.
+        self._slot_identity = bool(
+            np.array_equal(self.leaf_slot, np.arange(tree.n_leaves))
+        )
+        self._lock = threading.Lock()
+        self._cap = 0
+        self._node = None
+        self._rows = None
+        self._slots = None
 
     # ------------------------------------------------------------------ build
 
     @classmethod
-    def from_sketch(cls, sketch) -> "CompiledSketch":
+    def from_sketch(cls, sketch, dtype: str = "float64") -> "CompiledSketch":
         """Compile a fitted :class:`~repro.core.neurosketch.NeuroSketch`."""
         if sketch.tree is None or not sketch.models:
             raise RuntimeError("cannot compile an unfitted NeuroSketch")
+        resolve_dtype(dtype)
         tree = FlatTree.from_tree(sketch.tree)
         n_leaves = tree.n_leaves
         if set(sketch.models) != set(range(n_leaves)):
@@ -502,7 +755,17 @@ class CompiledSketch:
                 ]
             )
             groups.append(
-                _LeafGroup(list(signature), bucket["leaf_ids"], W, b, x_mean, x_scale, y_mean, y_scale)
+                _LeafGroup(
+                    list(signature),
+                    bucket["leaf_ids"],
+                    W,
+                    b,
+                    x_mean,
+                    x_scale,
+                    y_mean,
+                    y_scale,
+                    dtype=dtype,
+                )
             )
         return cls(tree, groups, leaf_group, leaf_slot, input_dim)
 
@@ -514,6 +777,7 @@ class CompiledSketch:
         x_scaler=None,
         y_scaler=None,
         leaf_ids: list[int] | None = None,
+        dtype: str = "float64",
     ) -> "CompiledSketch":
         """Build directly from an already-stacked model set.
 
@@ -521,12 +785,14 @@ class CompiledSketch:
         ``k`` holds leaf ``leaf_ids[k]`` (default: slot order is leaf-id
         order); the optional stacked scalers
         (:class:`~repro.nn.stacked.StackedStandardScaler`) carry the per-leaf
-        standardization statistics. This is what the stacked training
-        backend hands over after a fit — same weight tensors, no
-        unstack/restack round-trip through per-leaf MLP objects. The slots
-        must cover *every* tree leaf (mixed-architecture sketches go through
-        :meth:`from_sketch` instead).
+        standardization statistics, which the leaf group immediately fuses
+        into its execution plan for the requested ``dtype`` tier. This is
+        what the stacked training backend hands over after a fit — same
+        weight tensors, no unstack/restack round-trip through per-leaf MLP
+        objects. The slots must cover *every* tree leaf
+        (mixed-architecture sketches go through :meth:`from_sketch` instead).
         """
+        resolve_dtype(dtype)
         flat = FlatTree.from_tree(tree)
         n_leaves = stacked.n_leaves
         leaf_ids = list(range(n_leaves)) if leaf_ids is None else [int(i) for i in leaf_ids]
@@ -557,6 +823,7 @@ class CompiledSketch:
             x_scale,
             y_mean,
             y_scale,
+            dtype=dtype,
         )
         leaf_group = np.zeros(flat.n_leaves, dtype=np.int64)
         leaf_slot = np.empty(flat.n_leaves, dtype=np.int64)
@@ -564,10 +831,77 @@ class CompiledSketch:
             leaf_slot[lid] = slot
         return cls(flat, [group], leaf_group, leaf_slot, input_dim)
 
+    def with_dtype(self, dtype: str) -> "CompiledSketch":
+        """This sketch on another execution tier (tree and weights shared)."""
+        resolve_dtype(dtype)
+        if dtype == self.dtype_name:
+            return self
+        return CompiledSketch(
+            self.tree,
+            [g.with_dtype(dtype) for g in self.groups],
+            self.leaf_group,
+            self.leaf_slot,
+            self.input_dim,
+        )
+
     # --------------------------------------------------------------- predict
 
+    def _ensure_arena(self, m: int) -> None:
+        if m <= self._cap:
+            return
+        cap = max(2 * self._cap, m, 256)
+        self._node = np.empty(cap, dtype=np.int64)
+        self._rows = np.arange(cap)
+        self._slots = np.empty(cap, dtype=np.int64)
+        self._cap = cap
+
     def predict(self, Q: np.ndarray) -> np.ndarray:
-        """Answers for a batch of queries, shape ``(m,)``."""
+        """Answers for a batch of queries, shape ``(m,)`` (always float64)."""
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        if Q.shape[1] != self.input_dim:
+            raise ValueError(f"expected queries of dim {self.input_dim}, got {Q.shape[1]}")
+        m = Q.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.float64)
+        out = np.empty(m, dtype=np.float64)
+        with self._lock:
+            if m == 1:
+                # Single-row batches (the service's uncached ask path) skip
+                # routing/segmentation and run the scalar kernel, so a
+                # 1-query ``predict`` and ``predict_one`` answer identically.
+                out[0] = self._predict_one_locked(Q[0])
+                return out
+            self._ensure_arena(m)
+            leaves = self.tree.route_batch(Q, node=self._node, rows=self._rows)
+            if len(self.groups) == 1:
+                if self._slot_identity:
+                    slots = leaves
+                else:
+                    slots = np.take(self.leaf_slot, leaves, out=self._slots[:m])
+                self.groups[0].forward_batch(Q, slots, out=out)
+                return out
+            gid = self.leaf_group[leaves]
+            for g, group in enumerate(self.groups):
+                sel = np.flatnonzero(gid == g)
+                if sel.size:
+                    out[sel] = group.forward_batch(Q[sel], self.leaf_slot[leaves[sel]])
+        return out
+
+    def predict_one(self, q: np.ndarray) -> float:
+        """Single-query fast path (scratch arenas; calls serialize on a lock)."""
+        q = np.asarray(q, dtype=np.float64).ravel()
+        if q.shape[0] != self.input_dim:
+            raise ValueError(f"expected a query of dim {self.input_dim}, got {q.shape[0]}")
+        with self._lock:
+            return self._predict_one_locked(q)
+
+    def _predict_one_locked(self, q: np.ndarray) -> float:
+        lid = self.tree.route_one(q)
+        return self.groups[self._lg_list[lid]].forward_one(q, self._ls_list[lid])
+
+    def predict_padded(self, Q: np.ndarray) -> np.ndarray:
+        """Reference padded-schedule batch predict (see
+        :meth:`_LeafGroup.forward_batch_padded`); float64, pure, lock-free."""
         Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
         if Q.shape[1] != self.input_dim:
             raise ValueError(f"expected queries of dim {self.input_dim}, got {Q.shape[1]}")
@@ -576,23 +910,14 @@ class CompiledSketch:
             return np.empty(0, dtype=np.float64)
         leaves = self.tree.route_batch(Q)
         if len(self.groups) == 1:
-            return self.groups[0].forward_batch(Q, self.leaf_slot[leaves])
+            return self.groups[0].forward_batch_padded(Q, self.leaf_slot[leaves])
         out = np.empty(m, dtype=np.float64)
         gid = self.leaf_group[leaves]
         for g, group in enumerate(self.groups):
             sel = np.flatnonzero(gid == g)
             if sel.size:
-                out[sel] = group.forward_batch(Q[sel], self.leaf_slot[leaves[sel]])
+                out[sel] = group.forward_batch_padded(Q[sel], self.leaf_slot[leaves[sel]])
         return out
-
-    def predict_one(self, q: np.ndarray) -> float:
-        """Single-query fast path (not re-entrant: reuses scratch buffers)."""
-        q = np.asarray(q, dtype=np.float64).ravel()
-        if q.shape[0] != self.input_dim:
-            raise ValueError(f"expected a query of dim {self.input_dim}, got {q.shape[0]}")
-        lid = self.tree.route_one(q)
-        group = self.groups[self.leaf_group[lid]]
-        return group.forward_one(q, int(self.leaf_slot[lid]))
 
     __call__ = predict
 
@@ -615,6 +940,7 @@ class CompiledSketch:
     def to_dict(self) -> dict:
         return {
             "format": "compiled-sketch-v1",
+            "dtype": self.dtype_name,
             "input_dim": self.input_dim,
             "tree": self.tree.to_dict(),
             "leaf_group": self.leaf_group.tolist(),
@@ -623,12 +949,20 @@ class CompiledSketch:
         }
 
     @classmethod
-    def from_dict(cls, state: dict) -> "CompiledSketch":
+    def from_dict(cls, state: dict, dtype: str | None = None) -> "CompiledSketch":
+        """Rebuild from a payload; ``dtype`` overrides the recorded tier.
+
+        The serialized weights are canonical float64 regardless of tier, so
+        any payload loads onto any tier; payloads predating the tiered
+        engine carry no ``dtype`` key and default to ``float64``.
+        """
         if state.get("format") != "compiled-sketch-v1":
             raise ValueError(f"not a compiled sketch payload: {state.get('format')!r}")
+        tier = dtype if dtype is not None else state.get("dtype", "float64")
+        resolve_dtype(tier)
         return cls(
             FlatTree.from_dict(state["tree"]),
-            [_LeafGroup.from_dict(g) for g in state["groups"]],
+            [_LeafGroup.from_dict(g, dtype=tier) for g in state["groups"]],
             np.asarray(state["leaf_group"]),
             np.asarray(state["leaf_slot"]),
             state["input_dim"],
@@ -640,12 +974,13 @@ class CompiledSketch:
             json.dump(self.to_dict(), fh)
 
     @classmethod
-    def load(cls, path: str) -> "CompiledSketch":
+    def load(cls, path: str, dtype: str | None = None) -> "CompiledSketch":
         with gzip.open(path, "rt", encoding="utf-8") as fh:
-            return cls.from_dict(json.load(fh))
+            return cls.from_dict(json.load(fh), dtype=dtype)
 
     def __repr__(self) -> str:
         return (
             f"CompiledSketch(n_leaves={self.n_leaves}, groups={len(self.groups)}, "
-            f"nodes={self.tree.n_nodes}, input_dim={self.input_dim})"
+            f"nodes={self.tree.n_nodes}, input_dim={self.input_dim}, "
+            f"dtype={self.dtype_name})"
         )

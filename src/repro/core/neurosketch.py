@@ -18,7 +18,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.api import Estimator
-from repro.core.compiled import CompiledSketch
+from repro.core.compiled import CompiledSketch, resolve_dtype
 from repro.core.complexity import leaf_aqcs
 from repro.core.kdtree import QueryKDTree
 from repro.core.merging import merge_leaves
@@ -106,7 +106,8 @@ class NeuroSketch(Estimator):
         self.models: dict[int, _LeafModel] = {}
         self.input_dim: int | None = None
         self.leaf_aqcs_: dict[int, float] = {}
-        self._compiled: CompiledSketch | None = None
+        #: Compiled-engine cache, one entry per dtype tier.
+        self._compiled: dict[str, CompiledSketch] = {}
 
     # ------------------------------------------------------------------- fit
 
@@ -139,7 +140,7 @@ class NeuroSketch(Estimator):
             raise ValueError(f"train_backend must be one of {TRAIN_BACKENDS}")
 
         self.input_dim = Q_train.shape[1]
-        self._compiled = None  # any previous compilation is now stale
+        self._compiled = {}  # any previous compilation is now stale
         rng = np.random.default_rng(self.seed)
 
         # (1) Partition & index.
@@ -205,15 +206,16 @@ class NeuroSketch(Estimator):
             self.models[leaf.leaf_id] = _LeafModel(leaf.leaf_id, regressor, len(leaf.indices))
         if len(trainable) == len(leaves):
             # Hand the trained stack straight to the compiled engine — no
-            # unstack/restack round-trip. (With fallback leaves in play the
+            # unstack/restack round-trip; other tiers derive from this one
+            # via ``with_dtype``. (With fallback leaves in play the
             # architectures are mixed; the lazy ``compile()`` handles that.)
-            self._compiled = CompiledSketch.from_stack(
-                self.tree,
-                result.stacked,
-                x_scaler=result.x_scaler,
-                y_scaler=result.y_scaler,
-                leaf_ids=[leaves[i].leaf_id for i in trainable],
-            )
+            self._compiled = {
+                "float64": result.compile(
+                    self.tree,
+                    leaf_ids=[leaves[i].leaf_id for i in trainable],
+                    dtype="float64",
+                )
+            }
 
     def _check_fitted(self) -> None:
         if self.tree is None or not self.models:
@@ -221,29 +223,40 @@ class NeuroSketch(Estimator):
 
     # --------------------------------------------------------------- compile
 
-    def compile(self, force: bool = False) -> CompiledSketch:
-        """Flatten this sketch into a :class:`CompiledSketch` (cached).
+    def compile(self, force: bool = False, dtype: str = "float64") -> CompiledSketch:
+        """Flatten this sketch into a :class:`CompiledSketch` (cached per tier).
 
-        The compiled engine answers the same queries with the same float64
-        arithmetic but through packed arrays and grouped batched matmuls;
-        ``fit`` invalidates the cache.
+        The compiled engine answers the same queries through packed arrays
+        and a sort-segmented matmul schedule; ``dtype`` picks the execution
+        tier (``"float64"`` — the 1e-12 parity reference — or ``"float32"``,
+        the serving tier). A second tier is derived from an already-cached
+        one without re-flattening; ``fit`` invalidates the cache.
         """
         self._check_fitted()
-        if force or self._compiled is None:
-            self._compiled = CompiledSketch.from_sketch(self)
-        return self._compiled
+        resolve_dtype(dtype)
+        if force:
+            self._compiled = {dtype: CompiledSketch.from_sketch(self, dtype=dtype)}
+        elif dtype not in self._compiled:
+            base = next(iter(self._compiled.values()), None)
+            self._compiled[dtype] = (
+                base.with_dtype(dtype)
+                if base is not None
+                else CompiledSketch.from_sketch(self, dtype=dtype)
+            )
+        return self._compiled[dtype]
 
     # --------------------------------------------------------------- predict
 
-    def predict(self, Q: np.ndarray, compiled: bool = False) -> np.ndarray:
+    def predict(self, Q: np.ndarray, compiled: bool = False, dtype: str = "float64") -> np.ndarray:
         """Answers for a batch of queries (Alg. 5, vectorized per leaf).
 
         ``compiled=True`` routes through :meth:`compile`'s packed engine
-        instead of the object tree — same answers, far less dispatch.
+        instead of the object tree — same answers, far less dispatch
+        (``dtype`` picks its execution tier).
         """
         self._check_fitted()
         if compiled:
-            return self.compile().predict(Q)
+            return self.compile(dtype=dtype).predict(Q)
         Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
         leaf_ids = self.tree.route_batch(Q)
         out = np.empty(Q.shape[0], dtype=np.float64)
@@ -252,11 +265,11 @@ class NeuroSketch(Estimator):
             out[mask] = self.models[int(leaf_id)].regressor.predict(Q[mask])
         return out
 
-    def predict_one(self, q: np.ndarray, compiled: bool = False) -> float:
+    def predict_one(self, q: np.ndarray, compiled: bool = False, dtype: str = "float64") -> float:
         """Single-query path (what the query-time benchmarks measure)."""
         self._check_fitted()
         if compiled:
-            return self.compile().predict_one(q)
+            return self.compile(dtype=dtype).predict_one(q)
         leaf = self.tree.route(q)
         return float(self.models[leaf.leaf_id].regressor.predict(np.atleast_2d(q))[0])
 

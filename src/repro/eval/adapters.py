@@ -46,6 +46,7 @@ from repro.baselines.exact import ExactScan
 from repro.baselines.tree_agg import TreeAgg
 from repro.baselines.uniform import UniformAnswerEstimator
 from repro.baselines.verdictdb import VerdictLite
+from repro.core.compiled import resolve_dtype
 from repro.core.neurosketch import NeuroSketch
 from repro.nn.training import TrainConfig
 
@@ -66,9 +67,12 @@ class NeuroSketchEstimator(NeuroSketch):
 
     ``compile=True`` (the default) flattens the fitted sketch into the
     packed-array engine (:mod:`repro.core.compiled`) at fit time, so timing
-    runs measure the fast path; the reference object path stays reachable
-    through :meth:`predict_object`/:meth:`predict_one_object`, which the
-    runner uses to report the compiled-vs-object speedup.
+    runs measure the fast path; ``infer_dtype`` picks that engine's
+    execution tier (``"float64"``, the bit-parity reference and the default
+    here, or ``"float32"``, the serving tier the benchmark runner selects).
+    The reference object path stays reachable through
+    :meth:`predict_object`/:meth:`predict_one_object`, which the runner uses
+    to report the compiled-vs-object speedup.
     """
 
     def __init__(
@@ -87,6 +91,7 @@ class NeuroSketchEstimator(NeuroSketch):
         train_backend: str = "stacked",
         seed: int = 0,
         compile: bool = True,
+        infer_dtype: str = "float64",
     ) -> None:
         super().__init__(
             tree_height=tree_height,
@@ -106,7 +111,9 @@ class NeuroSketchEstimator(NeuroSketch):
             train_backend=train_backend,
             seed=seed,
         )
+        resolve_dtype(infer_dtype)  # fail on a bad tier before any training
         self.compile_enabled = bool(compile)
+        self.infer_dtype = str(infer_dtype)
 
     @property
     def sketch(self) -> NeuroSketch:
@@ -118,16 +125,16 @@ class NeuroSketchEstimator(NeuroSketch):
         if self.compile_enabled:
             # Compilation is part of the build, so build-time measurements
             # include it (it is orders of magnitude cheaper than training).
-            self.compile()
+            self.compile(dtype=self.infer_dtype)
         return self
 
     def predict(self, Q: np.ndarray, compiled: bool | None = None) -> np.ndarray:
         use = self.compile_enabled if compiled is None else compiled
-        return super().predict(Q, compiled=use)
+        return super().predict(Q, compiled=use, dtype=self.infer_dtype)
 
     def predict_one(self, q: np.ndarray, compiled: bool | None = None) -> float:
         use = self.compile_enabled if compiled is None else compiled
-        return super().predict_one(q, compiled=use)
+        return super().predict_one(q, compiled=use, dtype=self.infer_dtype)
 
     def predict_object(self, Q: np.ndarray) -> np.ndarray:
         """Reference object-path batch predict (parity / speedup baseline)."""
@@ -210,6 +217,7 @@ def _make_neurosketch(**kw) -> Estimator:
         train_backend=kw.get("train_backend", "stacked"),
         seed=kw["seed"],
         compile=kw.get("compile", True),
+        infer_dtype=kw.get("infer_dtype", "float64"),
     )
 
 

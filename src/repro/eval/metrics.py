@@ -110,3 +110,19 @@ def error_summary(pred: np.ndarray, true: np.ndarray) -> dict[str, float]:
         "relative_error": relative_error(pred, true),
         "median_relative_error": median_relative_error(pred, true),
     }
+
+
+def normalized_max_abs_diff(pred: np.ndarray, ref: np.ndarray) -> float:
+    """Largest deviation between two answer vectors, scaled by the reference.
+
+    ``max |pred - ref| / max |ref|`` — the engine-parity analog of the
+    paper's normalized MAE: scale-free, and robust to individual answers
+    sitting near zero (where an elementwise relative error is meaningless).
+    This is the metric behind the BENCH ``f32_vs_f64_max_rel_diff`` field
+    and the float32-tier tolerance in the golden suite.
+    """
+    pred, ref = _validate(pred, ref)
+    denom = float(np.abs(ref).max())
+    if denom == 0.0:
+        denom = 1.0
+    return float(np.abs(pred - ref).max() / denom)

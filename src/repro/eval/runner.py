@@ -14,10 +14,17 @@ from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
+from repro.core.compiled import DTYPE_TIERS
 from repro.data.registry import load_dataset, resolve_dataset_name
 from repro.eval.adapters import build_estimator, resolve_estimator_name
-from repro.eval.metrics import error_summary, uniform_answer_error
-from repro.eval.timing import LatencyStats, time_batch, time_per_query, timed
+from repro.eval.metrics import error_summary, normalized_max_abs_diff, uniform_answer_error
+from repro.eval.timing import (
+    LatencyStats,
+    environment_provenance,
+    time_batch,
+    time_per_query,
+    timed,
+)
 from repro.nn.training import OPTIMIZERS, TRAIN_BACKENDS
 from repro.queries.aggregates import get_aggregate
 from repro.queries.query_function import QueryFunction
@@ -61,6 +68,10 @@ class ExperimentConfig:
     sample_frac: float = 0.1
     # Compiled inference (NeuroSketch): False restores the object path.
     compile: bool = True
+    # Compiled-engine execution tier served by the benchmark: "float32" (the
+    # serving default — model error dwarfs single-precision noise) or
+    # "float64" (the bit-parity reference tier).
+    infer_dtype: str = "float32"
     # Service path (repro.serve): False skips the service timing block.
     service: bool = True
     # Timing harness.
@@ -101,6 +112,8 @@ class ExperimentConfig:
             raise ValueError("min_delta must be >= 0")
         if self.train_backend not in TRAIN_BACKENDS:
             raise ValueError(f"train_backend must be one of {TRAIN_BACKENDS}")
+        if self.infer_dtype not in DTYPE_TIERS:
+            raise ValueError(f"infer_dtype must be one of {sorted(DTYPE_TIERS)}")
         if not 0.0 < self.sample_frac <= 1.0:
             raise ValueError("sample_frac must be in (0, 1]")
         if self.n_timing_queries < 1 or self.timing_warmup < 0 or self.timing_repeats < 1:
@@ -187,8 +200,11 @@ class ExperimentResult:
     fitted: dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
+        config = self.config.to_dict()
+        # Timings are only comparable across PRs when the machine is too.
+        config["environment"] = environment_provenance()
         return {
-            "config": self.config.to_dict(),
+            "config": config,
             "dataset": {
                 "name": self.dataset_name,
                 "n": self.dataset_n,
@@ -297,6 +313,7 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
         train_backend=config.train_backend,
         sample_frac=config.sample_frac,
         compile=config.compile,
+        infer_dtype=config.infer_dtype,
     )
     results: list[EstimatorResult] = []
     fitted: dict[str, object] = {}
@@ -321,18 +338,25 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
             warmup=config.timing_warmup,
             repeats=config.timing_repeats,
         )
-        batch = time_batch(estimator.predict, Q_test, repeats=config.timing_repeats)
+        # The compiled engine answers a full batch in microseconds, where a
+        # single scheduler blip on a shared machine skews a best-of-3 by
+        # tens of percent; deepen the best-of floor for it (extra repeats
+        # are ~free at that scale). The second-scale baseline scans keep the
+        # configured repeat count.
+        is_compiled_path = getattr(estimator, "compile_enabled", False) and hasattr(
+            estimator, "predict_object"
+        )
+        batch_repeats = max(config.timing_repeats, 7) if is_compiled_path else config.timing_repeats
+        batch = time_batch(estimator.predict, Q_test, repeats=batch_repeats)
 
         # When an estimator serves a compiled fast path, also time its
         # reference object path so the BENCH file records the speedup: both
         # the batched object predict and the per-query object loop (how the
         # object path serves a query stream — the paper's query-time metric).
-        if getattr(estimator, "compile_enabled", False) and hasattr(
-            estimator, "predict_object"
-        ):
+        if is_compiled_path:
             say(f"timing {name} object path (speedup baseline)")
             batch_obj = time_batch(
-                estimator.predict_object, Q_test, repeats=config.timing_repeats
+                estimator.predict_object, Q_test, repeats=batch_repeats
             )
             latency_obj = time_per_query(
                 estimator.predict_one_object,
@@ -345,6 +369,27 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
             batch["object_per_query_total_s"] = per_query_total
             batch["speedup_vs_object_batch"] = batch_obj["batch_s"] / batch["batch_s"]
             batch["speedup_vs_object_per_query"] = per_query_total / batch["batch_s"]
+
+            # Execution-tier diagnostics for the compiled engine: the served
+            # tier, the segmented schedule's win over the padded reference
+            # schedule, both tiers' batch times, and the float32 deviation
+            # from the float64 reference (normalized max diff — see
+            # repro.eval.metrics.normalized_max_abs_diff).
+            say(f"timing {name} padded schedule and dtype tiers")
+            served = estimator.compile(dtype=estimator.infer_dtype)
+            padded = time_batch(served.predict_padded, Q_test, repeats=batch_repeats)
+            batch["dtype"] = estimator.infer_dtype
+            batch["padded_batch_s"] = padded["batch_s"]
+            batch["speedup_vs_padded"] = padded["batch_s"] / batch["batch_s"]
+            tier_pred = {}
+            for tier in ("float64", "float32"):
+                engine = estimator.compile(dtype=tier)
+                tier_pred[tier] = engine.predict(Q_test)
+                tier_time = time_batch(engine.predict, Q_test, repeats=batch_repeats)
+                batch[f"{'f64' if tier == 'float64' else 'f32'}_batch_s"] = tier_time["batch_s"]
+            batch["f32_vs_f64_max_rel_diff"] = normalized_max_abs_diff(
+                tier_pred["float32"], tier_pred["float64"]
+            )
 
         # Service path: micro-batching + answer cache over the same
         # estimator (compiled sketches only — that is what a server runs).

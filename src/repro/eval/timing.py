@@ -13,11 +13,45 @@ Two regimes matter for the paper's claims:
 
 from __future__ import annotations
 
+import os
+import platform
 import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
+
+_ENVIRONMENT: dict | None = None
+
+
+def environment_provenance() -> dict:
+    """The measurement context a timing number is meaningless without.
+
+    Recorded into every BENCH ``config`` block so cross-PR trajectory
+    comparisons can tell a code regression from a machine change: numpy
+    version, the BLAS implementation numpy was built against (small-matmul
+    throughput varies wildly across BLAS builds), CPU count (threaded BLAS),
+    and the platform/python versions. Computed once per process.
+    """
+    global _ENVIRONMENT
+    if _ENVIRONMENT is not None:
+        return _ENVIRONMENT
+    blas = lapack = "unknown"
+    try:  # np.show_config is informational API; never let it fail a run
+        deps = np.show_config(mode="dicts").get("Build Dependencies", {})
+        blas = deps.get("blas", {}).get("name", "unknown")
+        lapack = deps.get("lapack", {}).get("name", "unknown")
+    except Exception:
+        pass
+    _ENVIRONMENT = {
+        "numpy_version": np.__version__,
+        "blas": blas,
+        "lapack": lapack,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python_version": platform.python_version(),
+    }
+    return _ENVIRONMENT
 
 
 @dataclass(frozen=True)

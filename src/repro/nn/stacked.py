@@ -326,6 +326,27 @@ class StackedTrainResult:
     y_scaler: StackedStandardScaler | None
     histories: list[list[float]] = field(default_factory=list)
 
+    def compile(self, tree, leaf_ids: list[int] | None = None, dtype: str = "float64"):
+        """Hand the trained stack straight to the compiled inference engine.
+
+        Returns a :class:`~repro.core.compiled.CompiledSketch` on the
+        requested dtype tier: the stacked weight tensors and scaler
+        statistics go in as-is (no unstack/restack round-trip) and the
+        engine fuses the scalers into its execution plan at construction.
+        ``leaf_ids[k]`` names the tree leaf held by stack slot ``k``
+        (default: slot order is leaf-id order).
+        """
+        from repro.core.compiled import CompiledSketch
+
+        return CompiledSketch.from_stack(
+            tree,
+            self.stacked,
+            x_scaler=self.x_scaler,
+            y_scaler=self.y_scaler,
+            leaf_ids=leaf_ids,
+            dtype=dtype,
+        )
+
 
 class StackedTrainer:
     """Trains ``L`` same-architecture models simultaneously (Alg. 4 x L).

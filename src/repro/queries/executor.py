@@ -2,9 +2,14 @@
 
 This is the "ground truth" engine: it computes ``f_D(q)`` by scanning the
 data, vectorized over queries. For axis-aligned ranges and moment-based
-aggregates (COUNT/SUM/AVG/STD/VAR) it uses a blocked matrix path: a boolean
-match matrix per chunk of queries, then counts/sums via matrix products. For
-everything else it falls back to a per-query masked evaluation.
+aggregates (COUNT/SUM/AVG/STD/VAR) it uses a blocked matrix path: the
+``(queries, rows)`` match matrix for a chunk of queries is accumulated one
+attribute at a time — each step broadcasts a data *column* against the
+chunk's bounds, so every temporary is 2-D and the ``(q, rows, d)`` cube the
+naive broadcast would materialize never exists — and the per-query count /
+sum / sum-of-squares then fall out of a single matmul against a
+``(rows, 3)`` moment matrix. For everything else it falls back to a
+per-query masked evaluation.
 
 The paper uses an equivalent scan (Section 4.2, "a typical algorithm
 iterates over the points in the database ... checks whether it matches the
@@ -50,27 +55,43 @@ def evaluate_axis_range_batch(
     """
     n = X.shape[0]
     m = lo.shape[0]
+    d = X.shape[1]
     out = np.empty(m, dtype=np.float64)
     q_block = max(1, _BLOCK_CELLS // max(1, n))
     use_moments = aggregate.name in MOMENT_AGGREGATES
 
-    measure_sq = measure * measure if use_moments else None
+    # One gemm per block answers COUNT, SUM and SUM(x^2) together.
+    moments = None
+    if use_moments:
+        moments = np.empty((n, 3), dtype=np.float64)
+        moments[:, 0] = 1.0
+        moments[:, 1] = measure
+        np.multiply(measure, measure, out=moments[:, 2])
+    scratch = np.empty((min(m, q_block), n), dtype=bool)
     for start in range(0, m, q_block):
         stop = min(m, start + q_block)
-        # (b, n) match matrix for this block of queries.
-        mask = np.all(
-            (X[None, :, :] >= lo[start:stop, None, :])
-            & (X[None, :, :] < hi[start:stop, None, :]),
-            axis=2,
-        )
+        b = stop - start
+        # (b, n) match matrix, accumulated per attribute: column-vs-bounds
+        # broadcasts keep every temporary 2-D (the 3-D cube of the naive
+        # all-attributes-at-once broadcast is ~d times the traffic).
+        mask = None
+        step = scratch[:b]
+        for j in range(d):
+            xj = X[:, j]
+            np.greater_equal(xj, lo[start:stop, j, None], out=step)
+            if mask is None:
+                mask = step.copy()
+            else:
+                mask &= step
+            np.less(xj, hi[start:stop, j, None], out=step)
+            mask &= step
         if use_moments:
-            fmask = mask.astype(np.float64)
-            counts = fmask.sum(axis=1)
-            sums = fmask @ measure
-            sumsqs = fmask @ measure_sq
-            out[start:stop] = moment_aggregate_batch(aggregate.name, counts, sums, sumsqs)
+            agg = mask.astype(np.float64) @ moments
+            out[start:stop] = moment_aggregate_batch(
+                aggregate.name, agg[:, 0], agg[:, 1], agg[:, 2]
+            )
         else:
-            for i in range(stop - start):
+            for i in range(b):
                 out[start + i] = aggregate(measure[mask[i]])
     return out
 

@@ -33,13 +33,19 @@ class MicroBatcher:
     predict:
         ``callable(Q) -> answers`` over a ``(m, d)`` batch; called from the
         worker thread *or* a draining caller, so it must be thread-safe for
-        batched use (the compiled batch path is; the scalar ``predict_one``
-        scratch-buffer path is not used here).
+        batched use (:class:`~repro.core.compiled.CompiledSketch` is — it
+        serializes its scratch arenas behind an internal lock).
     max_batch_size:
         Pending-row count that triggers an immediate flush.
     max_delay_s:
         Longest time a pending block may wait before the worker flushes it;
         ``0`` flushes as soon as the worker wakes.
+    dtype:
+        Element type the assembled micro-batches are coerced to before
+        ``predict`` sees them (answers are always float64). The float64
+        default is right for the compiled engines, which route in float64
+        and cast into their execution tier internally; a custom sketch
+        that wants raw float32 micro-batches passes ``np.float32``.
     """
 
     def __init__(
@@ -47,6 +53,7 @@ class MicroBatcher:
         predict,
         max_batch_size: int = 64,
         max_delay_s: float = 2e-3,
+        dtype=np.float64,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -55,6 +62,7 @@ class MicroBatcher:
         self._predict = predict
         self.max_batch_size = int(max_batch_size)
         self.max_delay_s = float(max_delay_s)
+        self.dtype = np.dtype(dtype)
 
         self._cond = threading.Condition()
         self._pending: list[tuple[np.ndarray, Future, bool]] = []
@@ -78,7 +86,7 @@ class MicroBatcher:
         ``scalar=True`` marks a single-query block whose Future resolves to
         a plain ``float`` instead of a 1-element array.
         """
-        Q_block = np.atleast_2d(np.asarray(Q_block, dtype=np.float64))
+        Q_block = np.atleast_2d(np.asarray(Q_block, dtype=self.dtype))
         if Q_block.shape[0] == 0:
             fut: Future = Future()
             fut.set_result(np.empty(0, dtype=np.float64))
@@ -118,7 +126,7 @@ class MicroBatcher:
         acquire over the raw ``predict`` — and the sketch still sees one
         concatenated micro-batch under concurrency.
         """
-        Q_block = np.atleast_2d(np.asarray(Q_block, dtype=np.float64))
+        Q_block = np.atleast_2d(np.asarray(Q_block, dtype=self.dtype))
         with self._cond:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")

@@ -32,13 +32,19 @@ from repro.serve.batching import MicroBatcher
 from repro.serve.cache import AnswerCache
 
 
-def load_sketch(path: str):
+def load_sketch(path: str, dtype: str | None = None):
     """Load a saved sketch artifact into its servable form.
 
     Accepts both artifact formats and always returns an object with a
     batched ``predict``: a ``compiled-sketch-v1`` payload loads straight
     into :class:`~repro.core.compiled.CompiledSketch`; a ``NeuroSketch``
     payload is loaded and compiled.
+
+    ``dtype`` picks the compiled engine's execution tier. ``None`` keeps
+    the artifact's own recorded tier (``float64`` for payloads predating
+    the tiered engine), preserving bit-parity with whatever produced the
+    artifact; a server that prefers speed over the last few decimal places
+    passes ``"float32"`` (what ``repro serve`` defaults to).
     """
     from repro.core.compiled import CompiledSketch
     from repro.core.neurosketch import NeuroSketch
@@ -48,9 +54,10 @@ def load_sketch(path: str):
     if not isinstance(state, dict):
         raise ValueError(f"{path!r} is not a sketch artifact")
     if state.get("format") == "compiled-sketch-v1":
-        return CompiledSketch.from_dict(state)
+        return CompiledSketch.from_dict(state, dtype=dtype)
     if "tree" in state and "models" in state:
-        return NeuroSketch.from_dict(state).compile()
+        sketch = NeuroSketch.from_dict(state)
+        return sketch.compile(dtype="float64" if dtype is None else dtype)
     raise ValueError(f"{path!r} is not a recognized sketch artifact")
 
 
@@ -93,6 +100,14 @@ class SketchService:
         registered afterwards.
     cache_resolution, cache_entries, cache_exact:
         Knobs for the per-sketch caches built when ``cache=True``.
+    infer_dtype:
+        When set (``"float32"``/``"float64"``), every sketch registered
+        afterwards that exposes an execution tier — a
+        :class:`~repro.core.compiled.CompiledSketch` (via ``with_dtype``)
+        or a fitted :class:`~repro.core.neurosketch.NeuroSketch` (via
+        ``compile``) — is re-tiered to it at registration. ``None``
+        (default) serves every sketch exactly as handed in, so answers stay
+        bitwise-identical to the caller's own ``predict``.
     """
 
     def __init__(
@@ -103,9 +118,15 @@ class SketchService:
         cache_resolution: float = 1e-4,
         cache_entries: int = 65_536,
         cache_exact: bool = False,
+        infer_dtype: str | None = None,
     ) -> None:
+        if infer_dtype is not None:
+            from repro.core.compiled import resolve_dtype
+
+            resolve_dtype(infer_dtype)
         self.max_batch_size = int(max_batch_size)
         self.max_delay_s = float(max_delay_s)
+        self.infer_dtype = infer_dtype
         self._cache_spec = cache
         self._cache_resolution = float(cache_resolution)
         self._cache_entries = int(cache_entries)
@@ -132,6 +153,11 @@ class SketchService:
             raise ValueError(f"sketch {key!r} is already registered")
         if not callable(getattr(sketch, "predict", None)):
             raise TypeError(f"sketch {key!r} has no predict(Q) method")
+        if self.infer_dtype is not None:
+            if callable(getattr(sketch, "with_dtype", None)):
+                sketch = sketch.with_dtype(self.infer_dtype)
+            elif callable(getattr(sketch, "compile", None)):
+                sketch = sketch.compile(dtype=self.infer_dtype)
         cache_ns = b""
         if self._cache_spec is False or self._cache_spec is None:
             cache = None

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.cli import main
 
 
@@ -126,6 +128,31 @@ def test_run_train_backend_and_knobs_land_in_bench(tmp_path):
     assert build["stacked_build_s"] > 0.0 and build["sequential_build_s"] > 0.0
 
 
+def test_run_infer_dtype_lands_in_bench(tmp_path):
+    rc = main(
+        [
+            "run",
+            "--dataset", "synthetic",
+            "--estimators", "neurosketch",
+            "--fast",
+            "--infer-dtype", "float64",
+            "--n-rows", "400",
+            "--n-train", "60",
+            "--n-test", "20",
+            "--quiet",
+            "--out-dir", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    payload = json.loads((tmp_path / "BENCH_synthetic.json").read_text())
+    assert payload["config"]["infer_dtype"] == "float64"
+    batch = payload["estimators"][0]["batch"]
+    assert batch["dtype"] == "float64"
+    assert batch["speedup_vs_padded"] > 0.0
+    assert 0.0 <= batch["f32_vs_f64_max_rel_diff"] <= 1e-5
+    assert "environment" in payload["config"]
+
+
 def test_run_no_bench_skips_file(tmp_path):
     rc = main(
         [
@@ -223,15 +250,25 @@ GOLDEN_SKETCH = str(
 
 
 def test_query_one_shot_against_saved_sketch(capsys):
+    import numpy as np
+
+    from repro.serve import load_sketch
+
+    q = np.array([[0.1, 0.2, 0.3, 0.4]])
+    # The CLI serves the float32 tier by default; --infer-dtype float64
+    # restores the bit-parity reference tier. Each must match a library
+    # load of the same tier exactly.
     rc = main(["query", "--sketch", GOLDEN_SKETCH, "0.1,0.2,0.3,0.4"])
     assert rc == 0
     answer = float(capsys.readouterr().out.strip())
-    from repro.serve import load_sketch
+    assert answer == float(load_sketch(GOLDEN_SKETCH, dtype="float32").predict(q)[0])
 
-    sketch = load_sketch(GOLDEN_SKETCH)
-    import numpy as np
-
-    assert answer == float(sketch.predict(np.array([[0.1, 0.2, 0.3, 0.4]]))[0])
+    rc = main(["query", "--sketch", GOLDEN_SKETCH, "--infer-dtype", "float64",
+               "0.1,0.2,0.3,0.4"])
+    assert rc == 0
+    answer64 = float(capsys.readouterr().out.strip())
+    assert answer64 == float(load_sketch(GOLDEN_SKETCH).predict(q)[0])
+    assert answer == pytest.approx(answer64, rel=1e-5)
 
 
 def test_query_rejects_non_numeric_vector(capsys):

@@ -239,6 +239,11 @@ def test_skewed_batch_takes_per_leaf_path_with_parity():
     np.testing.assert_allclose(
         compiled.predict(skewed), ns.predict(skewed), rtol=RTOL, atol=ATOL
     )
+    # The padded reference schedule drops to its per-leaf loop here; it must
+    # still agree with both the object path and the segmented schedule.
+    np.testing.assert_allclose(
+        compiled.predict_padded(skewed), ns.predict(skewed), rtol=RTOL, atol=ATOL
+    )
     shuffled = skewed[rng.permutation(skewed.shape[0])]
     np.testing.assert_allclose(
         compiled.predict(shuffled), ns.predict(shuffled), rtol=RTOL, atol=ATOL

@@ -1,0 +1,286 @@
+"""The precision-tiered, sort-segmented execution engine.
+
+Four contracts on top of the float64 parity suite (``test_compiled.py``):
+
+- the float32 tier stays within a documented normalized tolerance
+  (``F32_TOL``) of the float64 reference tier — checked on the golden
+  artifact, so the bound is pinned to a real fitted sketch;
+- the segmented schedule is equivalent to the padded reference schedule
+  (``predict_padded``), including on skewed merged trees where their
+  execution order differs most;
+- both tiers serialize and round-trip losslessly (canonical weights are
+  tier-independent, the tier itself is recorded);
+- the steady-state serving path reuses its scratch arenas instead of
+  reallocating activations, and the engine lock makes concurrent calls
+  safe.
+"""
+
+import json
+import threading
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.compiled import (
+    DEFAULT_SERVING_DTYPE,
+    DTYPE_TIERS,
+    CompiledSketch,
+    resolve_dtype,
+)
+from repro.core.neurosketch import NeuroSketch
+from repro.eval.metrics import normalized_max_abs_diff
+from repro.nn.training import TrainConfig
+
+DATA = Path(__file__).resolve().parent / "data"
+
+#: Documented float32-tier tolerance: normalized max deviation from the
+#: float64 tier (max |a32 - a64| / max |a64|). Single-precision rounding
+#: through the paper's 5-layer nets lands around 1e-7; the model's own
+#: normalized MAE is ~0.29, six orders above this bound.
+F32_TOL = 1e-5
+
+
+def make_sketch(seed=0, dim=3, height=3, partitions=None, n=160, depth=3, widths=(12, 8)):
+    rng = np.random.default_rng(seed)
+    Q = rng.uniform(0.0, 1.0, size=(n, dim))
+    y = rng.normal(size=n)
+    ns = NeuroSketch(
+        tree_height=height,
+        n_partitions=partitions,
+        depth=depth,
+        width_first=widths[0],
+        width_rest=widths[1],
+        train_config=TrainConfig(epochs=1, batch_size=32, seed=seed),
+        seed=seed,
+    )
+    ns.fit(Q_train=Q, y_train=y)
+    return ns, Q, rng
+
+
+@pytest.fixture(scope="module")
+def golden():
+    sketch = NeuroSketch.load(str(DATA / "golden_sketch.json.gz"))
+    with open(DATA / "golden_expected.json", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return sketch, np.asarray(payload["queries"], dtype=np.float64)
+
+
+# ------------------------------------------------------------------ tier basics
+
+
+def test_default_serving_tier_is_float32():
+    assert DEFAULT_SERVING_DTYPE == "float32"
+    assert set(DTYPE_TIERS) == {"float32", "float64"}
+
+
+def test_resolve_dtype_rejects_unknown_tiers():
+    assert resolve_dtype("float64") is np.float64
+    with pytest.raises(ValueError, match="dtype must be one of"):
+        resolve_dtype("float16")
+
+
+def test_compile_dtype_validation_runs_on_fitted_sketch():
+    ns, _, _ = make_sketch(seed=1, dim=2, height=1)
+    with pytest.raises(ValueError, match="dtype must be one of"):
+        ns.compile(dtype="bfloat16")
+
+
+def test_compile_caches_one_engine_per_tier():
+    ns, _, _ = make_sketch(seed=2, dim=2, height=2)
+    c64 = ns.compile()
+    c32 = ns.compile(dtype="float32")
+    assert c64.dtype_name == "float64" and c32.dtype_name == "float32"
+    assert ns.compile() is c64
+    assert ns.compile(dtype="float32") is c32
+    assert c32 is not c64
+    # Re-tiering shares the tree and the canonical weight arrays.
+    assert c32.tree is c64.tree
+    for g64, g32 in zip(c64.groups, c32.groups):
+        assert all(w64 is w32 for w64, w32 in zip(g64.W, g32.W))
+    # with_dtype on the matching tier is the identity.
+    assert c64.with_dtype("float64") is c64
+
+
+def test_float32_tier_on_golden_sketch_within_documented_tolerance(golden):
+    sketch, queries = golden
+    a64 = sketch.compile(dtype="float64").predict(queries)
+    a32 = sketch.compile(dtype="float32").predict(queries)
+    diff = normalized_max_abs_diff(a32, a64)
+    assert 0.0 < diff <= F32_TOL
+    # Elementwise agreement wherever the reference answer is not near zero.
+    big = np.abs(a64) > 1e-3 * np.abs(a64).max()
+    assert np.all(np.abs(a32[big] - a64[big]) / np.abs(a64[big]) <= 1e-4)
+    # The scalar path runs the same fused plan.
+    singles = np.array([sketch.compile(dtype="float32").predict_one(q) for q in queries])
+    assert normalized_max_abs_diff(singles, a64) <= F32_TOL
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_single_row_predict_matches_predict_one_exactly(golden, dtype):
+    sketch, queries = golden
+    engine = sketch.compile(dtype=dtype)
+    for q in queries[:8]:
+        assert engine.predict(q[None, :])[0] == engine.predict_one(q)
+
+
+# --------------------------------------------------- segmented vs padded schedule
+
+
+@pytest.mark.parametrize("partitions", [3, 6])
+def test_segmented_matches_padded_on_skewed_merged_trees(partitions):
+    """Merged trees give ragged leaf depths and uneven segment sizes — the
+    case where the segmented and padded schedules differ most in execution
+    order. Same answers to parity tolerance required."""
+    ns, Q, rng = make_sketch(seed=3, dim=3, height=4, partitions=partitions, n=600)
+    engine = ns.compile()
+    # A skewed batch: one hot leaf repeated, plus stragglers everywhere.
+    leaves = engine.tree.route_batch(Q)
+    hot = np.bincount(leaves).argmax()
+    skewed = np.concatenate([np.repeat(Q[leaves == hot], 20, axis=0), Q])
+    skewed = skewed[rng.permutation(skewed.shape[0])]
+    for batch in (Q, skewed):
+        seg = engine.predict(batch)
+        pad = engine.predict_padded(batch)
+        np.testing.assert_allclose(seg, pad, rtol=1e-12, atol=1e-12)
+    # The float32 tier routes identically and stays within its tolerance.
+    f32 = ns.compile(dtype="float32").predict(skewed)
+    assert normalized_max_abs_diff(f32, engine.predict(skewed)) <= F32_TOL
+
+
+def test_single_occupied_slot_skips_nothing_correctness_wise():
+    ns, Q, _ = make_sketch(seed=4, dim=2, height=3, n=300)
+    engine = ns.compile()
+    leaves = engine.tree.route_batch(Q)
+    one_leaf = Q[leaves == np.bincount(leaves).argmax()]
+    assert one_leaf.shape[0] > 1
+    np.testing.assert_allclose(
+        engine.predict(one_leaf), engine.predict_padded(one_leaf), rtol=1e-12, atol=1e-12
+    )
+
+
+# -------------------------------------------------------------- persistence
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_serialization_round_trips_each_tier(tmp_path, dtype):
+    ns, Q, _ = make_sketch(seed=5, dim=3, height=3, partitions=4)
+    engine = ns.compile(dtype=dtype)
+    ref = engine.predict(Q)
+
+    state = engine.to_dict()
+    assert state["dtype"] == dtype
+    clone = CompiledSketch.from_dict(state)
+    assert clone.dtype_name == dtype
+    # Canonical weights are float64 regardless of tier, so the rebuilt
+    # engine computes bitwise-identical answers.
+    np.testing.assert_array_equal(clone.predict(Q), ref)
+
+    path = tmp_path / f"sketch-{dtype}.json.gz"
+    engine.save(str(path))
+    loaded = CompiledSketch.load(str(path))
+    assert loaded.dtype_name == dtype
+    np.testing.assert_array_equal(loaded.predict(Q), ref)
+    # A load-time override re-tiers the same payload.
+    other = "float32" if dtype == "float64" else "float64"
+    retiered = CompiledSketch.load(str(path), dtype=other)
+    assert retiered.dtype_name == other
+    assert normalized_max_abs_diff(retiered.predict(Q), ref) <= F32_TOL
+
+
+def test_pre_tier_payloads_load_as_float64():
+    """Payloads written before the tiered engine carry no dtype key."""
+    ns, Q, _ = make_sketch(seed=6, dim=2, height=2)
+    state = ns.compile().to_dict()
+    state.pop("dtype")
+    legacy = CompiledSketch.from_dict(state)
+    assert legacy.dtype_name == "float64"
+    np.testing.assert_array_equal(legacy.predict(Q), ns.compile().predict(Q))
+
+
+# ------------------------------------------------------------- scratch arenas
+
+
+def _activation_footprint(engine, m):
+    return sum(
+        m * sum(cols for cols in group._cols) * engine_itemsize(group)
+        for group in engine.groups
+    )
+
+
+def engine_itemsize(group):
+    return np.dtype(DTYPE_TIERS[group.dtype_name]).itemsize
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_predict_steady_state_reuses_arenas(dtype):
+    # Paper-sized nets, so the activation footprint (what a naive engine
+    # would re-materialize every call) dwarfs the O(m) routing metadata.
+    ns, Q, rng = make_sketch(seed=7, dim=3, height=4, n=900, depth=5, widths=(60, 30))
+    engine = ns.compile(dtype=dtype)
+    batch = rng.uniform(0.0, 1.0, size=(512, 3))
+    engine.predict(batch)
+    engine.predict(batch)  # arena fully grown
+    group = engine.groups[0]
+    qflat, hflat = group._qflat, list(group._hflat)
+    node, rows = engine._node, engine._rows
+
+    footprint = _activation_footprint(engine, batch.shape[0])
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    for _ in range(3):
+        engine.predict(batch)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    # Identical arena objects, no regrowth...
+    assert group._qflat is qflat
+    assert all(a is b for a, b in zip(group._hflat, hflat))
+    assert engine._node is node and engine._rows is rows
+    # ...and per-call allocation is O(m) metadata plus the returned answers,
+    # far below re-materializing the activation buffers each call.
+    assert peak - before < max(footprint, 1) * 0.5
+
+
+def test_predict_one_steady_state_is_allocation_free():
+    ns, Q, _ = make_sketch(seed=8, dim=3, height=3)
+    engine = ns.compile(dtype="float32")
+    q = np.ascontiguousarray(Q[0])
+    engine.predict_one(q)
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    for _ in range(200):
+        engine.predict_one(q)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    # Only transient float boxing; no tensor allocations at all.
+    assert peak - before < 16_384
+
+
+def test_concurrent_predict_calls_are_safe():
+    """Arenas are shared state; the engine lock must serialize callers so
+    concurrent predicts (the MicroBatcher drain path) stay correct."""
+    ns, Q, rng = make_sketch(seed=9, dim=3, height=4, n=600)
+    engine = ns.compile(dtype="float32")
+    batches = [rng.uniform(0.0, 1.0, size=(257, 3)) for _ in range(4)]
+    expected = [engine.predict(b) for b in batches]
+    results = [None] * len(batches)
+    errors = []
+
+    def worker(i):
+        try:
+            for _ in range(20):
+                results[i] = engine.predict(batches[i])
+                engine.predict_one(batches[i][0])
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(len(batches))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    for got, want in zip(results, expected):
+        np.testing.assert_array_equal(got, want)

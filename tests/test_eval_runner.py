@@ -140,6 +140,60 @@ def test_runner_records_compiled_speedups(tiny_result):
     assert "speedup_vs_object_batch" not in tiny_result.estimator("exact").batch
 
 
+def test_runner_records_dtype_tier_fields(tiny_result):
+    """The compiled block carries the served tier, its win over the padded
+    reference schedule, both tiers' batch times and the float32 deviation."""
+    batch = tiny_result.estimator("neurosketch").batch
+    assert batch["dtype"] == "float32"  # the serving default
+    for key in ("padded_batch_s", "speedup_vs_padded", "f64_batch_s", "f32_batch_s"):
+        assert key in batch and np.isfinite(batch[key]) and batch[key] > 0.0
+    assert 0.0 <= batch["f32_vs_f64_max_rel_diff"] <= 1e-5
+    assert "dtype" not in tiny_result.estimator("exact").batch
+
+
+def test_config_rejects_unknown_infer_dtype():
+    with pytest.raises(ValueError, match="infer_dtype"):
+        ExperimentConfig(infer_dtype="float16")
+
+
+def test_float64_tier_config_serves_the_reference_tier():
+    config = ExperimentConfig(
+        dataset="synthetic",
+        estimators=("neurosketch",),
+        fast=True,
+        n_rows=400,
+        n_train=120,
+        n_test=40,
+        n_timing_queries=5,
+        timing_warmup=1,
+        timing_repeats=1,
+        infer_dtype="float64",
+        seed=0,
+    )
+    result = run_experiment(config)
+    batch = result.estimator("neurosketch").batch
+    assert batch["dtype"] == "float64"
+    # The served tier is the reference tier, so the compiled predictions
+    # the errors were scored on match the object path to parity tolerance.
+    est = result.fitted["neurosketch"]
+    Q = np.random.default_rng(0).uniform(size=(16, result.query_dim))
+    np.testing.assert_allclose(
+        est.predict(Q), est.predict_object(Q), rtol=1e-12, atol=1e-12
+    )
+
+
+def test_bench_records_environment_provenance(tiny_result, tmp_path):
+    from repro.eval.timing import environment_provenance
+
+    payload = load_bench_json(write_bench_json(tiny_result, "envcheck", tmp_path))
+    env = payload["config"]["environment"]
+    assert env == environment_provenance()
+    for key in ("numpy_version", "blas", "cpu_count", "platform", "python_version"):
+        assert key in env
+    assert env["numpy_version"] == np.__version__
+    assert payload["config"]["infer_dtype"] == "float32"
+
+
 def test_no_compile_config_restores_object_path():
     config = ExperimentConfig(
         dataset="synthetic",

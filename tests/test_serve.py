@@ -320,3 +320,58 @@ def test_register_on_closed_service_raises_and_leaks_nothing():
     with pytest.raises(RuntimeError, match="closed"):
         svc.register("late", SumSketch())
     assert svc.sketch_names() == ()
+
+
+# ---------------------------------------------------------------- dtype tiers
+
+
+def test_load_sketch_honors_dtype_and_artifact_tier(tmp_path, golden_compiled):
+    # Default: the artifact's own recorded tier (float64 for the golden
+    # NeuroSketch payload), so answers stay bit-identical to the producer.
+    assert golden_compiled.dtype_name == "float64"
+    # A float32-tier compiled artifact round-trips its tier through save.
+    f32 = golden_compiled.with_dtype("float32")
+    path = str(tmp_path / "f32.json.gz")
+    f32.save(path)
+    again = load_sketch(path)
+    assert again.dtype_name == "float32"
+    rng = np.random.default_rng(3)
+    Q = rng.uniform(0.0, 1.0, size=(16, f32.input_dim))
+    np.testing.assert_array_equal(again.predict(Q), f32.predict(Q))
+    # An explicit dtype overrides whatever the artifact recorded.
+    assert load_sketch(path, dtype="float64").dtype_name == "float64"
+    assert load_sketch(
+        str(DATA / "golden_sketch.json.gz"), dtype="float32"
+    ).dtype_name == "float32"
+
+
+def test_service_infer_dtype_retier_on_register(golden_compiled):
+    rng = np.random.default_rng(4)
+    Q = rng.uniform(0.0, 1.0, size=(32, golden_compiled.input_dim))
+    expected = golden_compiled.with_dtype("float32").predict(Q)
+    with SketchService(cache=False, infer_dtype="float32") as svc:
+        svc.register("golden", golden_compiled)
+        np.testing.assert_array_equal(svc.ask_many(Q), expected)
+    # Sketches without an execution tier (plain predict) pass through as-is.
+    with SketchService(cache=False, infer_dtype="float32") as svc:
+        svc.register("sum", SumSketch())
+        assert svc.ask(np.array([1.0, 2.0])) == pytest.approx(3.0)
+    with pytest.raises(ValueError, match="dtype must be one of"):
+        SketchService(infer_dtype="float16")
+
+
+def test_microbatcher_dtype_knob_controls_batch_dtype():
+    seen = []
+
+    def predict(Q):
+        seen.append(Q.dtype)
+        return np.asarray(Q, dtype=np.float64).sum(axis=1)
+
+    batcher = MicroBatcher(predict, dtype=np.float32)
+    try:
+        answers = batcher.run(np.array([[1.0, 2.0], [3.0, 4.0]]))
+    finally:
+        batcher.close()
+    assert seen == [np.dtype(np.float32)]
+    assert answers.dtype == np.float64
+    np.testing.assert_allclose(answers, [3.0, 7.0])
