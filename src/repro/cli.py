@@ -5,9 +5,12 @@ Subcommands:
 - ``run`` — one end-to-end experiment; prints a summary table and writes
   ``BENCH_<name>.json`` (``--save-sketch`` also persists the fitted
   NeuroSketch artifact).
-- ``serve`` — run a :class:`~repro.serve.SketchService` over a saved sketch:
-  JSON-lines queries on stdin, JSON answers on stdout.
-- ``query`` — one-shot ask against a saved sketch.
+- ``serve`` — serve a saved sketch over the versioned JSON-lines protocol
+  (:mod:`repro.serve.protocol`): ``--listen host:port`` runs the asyncio
+  socket server for many concurrent clients; the default (``--stdio``)
+  answers frames on stdin/stdout.
+- ``query`` — one-shot ask: against a saved sketch artifact (``--sketch``)
+  or a running server (``--connect host:port``).
 - ``compare`` — side-by-side table over previously written BENCH files.
 - ``list-datasets`` — the dataset registry (paper sizes, defaults, aliases).
 
@@ -19,7 +22,6 @@ workload and training budget so the full pipeline finishes in seconds.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 from pathlib import Path
@@ -105,14 +107,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="serve a saved sketch: JSON-lines queries on stdin, answers on stdout",
+        help="serve a saved sketch over the JSON-lines protocol "
+             "(socket with --listen, stdin/stdout otherwise)",
     )
     serve.add_argument("--sketch", required=True, metavar="PATH",
                        help="saved sketch artifact (NeuroSketch or compiled form)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="run the asyncio socket server on this address "
+                            "(port 0 picks a free port)")
+    serve.add_argument("--stdio", action="store_true",
+                       help="answer frames on stdin/stdout (the default when "
+                            "--listen is absent)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="micro-batch flush workers; each concurrent flush "
+                            "uses its own engine replica")
     serve.add_argument("--max-batch", type=int, default=64,
                        help="micro-batch size flush trigger")
     serve.add_argument("--max-delay-ms", type=float, default=2.0,
                        help="micro-batch deadline flush trigger, milliseconds")
+    serve.add_argument("--max-line-bytes", type=int, default=None,
+                       help="per-request line size bound (default 1 MiB)")
+    serve.add_argument("--request-timeout-s", type=float, default=30.0,
+                       help="per-request answer deadline")
     serve.add_argument("--infer-dtype", choices=("float32", "float64"), default="float32",
                        help="execution tier for the served sketch (float32 default)")
     serve.add_argument("--no-cache", action="store_true", help="disable the answer cache")
@@ -121,9 +137,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-exact", action="store_true",
                        help="bypass quantization: only bit-identical queries hit")
 
-    query = sub.add_parser("query", help="one-shot ask against a saved sketch")
-    query.add_argument("--sketch", required=True, metavar="PATH",
+    query = sub.add_parser(
+        "query",
+        help="one-shot ask against a saved sketch or a running server",
+    )
+    query.add_argument("--sketch", default=None, metavar="PATH",
                        help="saved sketch artifact (NeuroSketch or compiled form)")
+    query.add_argument("--connect", default=None, metavar="HOST:PORT",
+                       help="ask a running `repro serve --listen` server instead "
+                            "of loading an artifact")
+    query.add_argument("--name", default=None, metavar="SKETCH",
+                       help="with --connect: the registered sketch name to ask "
+                            "(default: the server's default sketch)")
     query.add_argument("--infer-dtype", choices=("float32", "float64"), default="float32",
                        help="execution tier (must match a `repro serve` it is compared to)")
     query.add_argument("values", nargs="+",
@@ -223,66 +248,151 @@ def _parse_query_vector(values: list[str]) -> np.ndarray:
     return q
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import AnswerCache, SketchService, load_sketch
+def _answer_frame(service, raw_line, max_line_bytes: int, timeout_s: float):
+    """One protocol frame -> one protocol response (never raises).
 
+    The stdio transport's request handler; the socket transport has its
+    asyncio twin in :meth:`repro.serve.server.SketchServer._serve_frame`.
+    Both speak only :mod:`repro.serve.protocol` dataclasses.
+    """
+    from repro.serve import protocol
+
+    rid = None
+    try:
+        protocol.check_line_size(raw_line, max_line_bytes)
+        request = protocol.decode_request(raw_line)
+        rid = request.id
+        if isinstance(request, protocol.StatsRequest):
+            return protocol.StatsResponse(stats=service.stats(request.sketch), id=rid)
+        if isinstance(request, protocol.BatchQueryRequest):
+            answers = service.ask_many(np.asarray(request.q, dtype=np.float64), request.sketch)
+            return protocol.BatchQueryResponse(
+                answers=tuple(float(a) for a in answers), id=rid, sketch=request.sketch
+            )
+        fut = service.submit(np.asarray(request.q, dtype=np.float64), request.sketch)
+        answer = fut.result(timeout=timeout_s)
+        return protocol.QueryResponse(
+            answer=float(answer),
+            cached=bool(getattr(fut, "cached", False)),
+            id=rid,
+            sketch=request.sketch,
+        )
+    except protocol.ProtocolError as exc:
+        return exc.to_response(rid)
+    except KeyError as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        return protocol.ErrorResponse(error=str(message), code="unknown-sketch", id=rid)
+    except TimeoutError:
+        return protocol.ErrorResponse(
+            error=f"request missed the {timeout_s}s deadline", code="timeout", id=rid
+        )
+    except Exception as exc:  # a bad frame must not kill the loop
+        return protocol.ErrorResponse(
+            error=f"{type(exc).__name__}: {exc}", code="internal", id=rid
+        )
+
+
+def _stdio_loop(service, max_line_bytes: int, timeout_s: float) -> None:
+    from repro.serve import protocol
+
+    for raw in sys.stdin:
+        if not raw.strip():
+            continue
+        response = _answer_frame(service, raw.strip(), max_line_bytes, timeout_s)
+        try:
+            line_out = protocol.encode(response)
+        except ValueError:  # non-finite answer; never emit bare NaN JSON
+            line_out = protocol.encode(
+                protocol.ErrorResponse(
+                    error="answer is not finite",
+                    code="internal",
+                    id=getattr(response, "id", None),
+                )
+            )
+        print(line_out, flush=True)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.serve import SketchService, load_sketch, protocol, start_server_thread
+    from repro.serve.client import parse_address
+
+    if args.listen and args.stdio:
+        return _operator_error(ValueError("--listen and --stdio are mutually exclusive"))
+    max_line_bytes = (
+        protocol.MAX_LINE_BYTES if args.max_line_bytes is None else args.max_line_bytes
+    )
     try:
         sketch = load_sketch(args.sketch, dtype=args.infer_dtype)
     # EOFError: a truncated gzip stream ends without the stream marker.
     except (OSError, ValueError, EOFError) as exc:
         return _operator_error(exc)
     try:
-        # Hold the cache ourselves so the loop can flag hits with a plain
-        # counter read instead of diffing full stats snapshots per query.
-        cache = None
-        if not args.no_cache:
-            cache = AnswerCache(resolution=args.cache_resolution, exact=args.cache_exact)
         service = SketchService(
             max_batch_size=args.max_batch,
             max_delay_s=args.max_delay_ms / 1e3,
-            cache=False if cache is None else cache,
+            cache=not args.no_cache,
+            cache_resolution=args.cache_resolution,
+            cache_exact=args.cache_exact,
+            workers=args.workers,
         )
         service.register("default", sketch)
-    except ValueError as exc:  # bad cache/batch knobs
+    except ValueError as exc:  # bad cache/batch/worker knobs
         return _operator_error(exc)
-    print(f"[repro serve] loaded {args.sketch}; reading JSON lines from stdin",
-          file=sys.stderr)
-    with service:
-        for line in sys.stdin:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-                qid = None
-                if isinstance(payload, dict):
-                    qid = payload.get("id")
-                    payload = payload["q"]
-                q = np.asarray(payload, dtype=np.float64).ravel()
-                hits_before = cache.hits if cache is not None else 0
-                answer = service.ask(q)
-                cached = cache is not None and cache.hits > hits_before
-                out = {"answer": answer, "cached": cached}
-                if qid is not None:
-                    out["id"] = qid
-                # allow_nan=False: a NaN answer (e.g. null query components)
-                # must become an error line, not RFC-invalid `NaN` JSON.
-                line_out = json.dumps(out, allow_nan=False)
-            except Exception as exc:  # a bad line must not kill the loop
-                print(json.dumps({"error": str(exc)}), flush=True)
-                continue
-            print(line_out, flush=True)
-        stats = service.stats()
-    print(f"[repro serve] done: {stats}", file=sys.stderr)
+    if args.listen is None:
+        print(f"[repro serve] loaded {args.sketch}; reading protocol frames from stdin",
+              file=sys.stderr)
+        with service:
+            _stdio_loop(service, max_line_bytes, args.request_timeout_s)
+            stats = service.stats()
+        print(f"[repro serve] done: {stats}", file=sys.stderr)
+        return 0
+    try:
+        host, port = parse_address(args.listen)
+        handle = start_server_thread(
+            service,
+            host=host,
+            port=port,
+            max_line_bytes=max_line_bytes,
+            request_timeout_s=args.request_timeout_s,
+        )
+    except (ValueError, OSError) as exc:  # bad address / port in use
+        service.close()
+        return _operator_error(exc)
+    bound = "{}:{}".format(*handle.address)
+    print(f"[repro serve] loaded {args.sketch}; listening on {bound} "
+          f"({args.workers} workers)", file=sys.stderr)
+    try:
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        print("[repro serve] draining...", file=sys.stderr)
+    finally:
+        handle.stop()
+        service.close()
+    print("[repro serve] stopped", file=sys.stderr)
     return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.serve import load_sketch
+    from repro.serve import Client, ServerError, load_sketch
 
+    if (args.sketch is None) == (args.connect is None):
+        return _operator_error(ValueError("pass exactly one of --sketch or --connect"))
+    try:
+        q = _parse_query_vector(args.values)
+    except ValueError as exc:
+        return _operator_error(exc)
+    if args.connect is not None:
+        try:
+            with Client.connect(args.connect) as client:
+                answer = client.ask(q, sketch=args.name)
+        except (OSError, ValueError, ServerError) as exc:
+            return _operator_error(exc)
+        print(repr(answer))
+        return 0
     try:
         sketch = load_sketch(args.sketch, dtype=args.infer_dtype)
-        q = _parse_query_vector(args.values)
         # A 1-row predict runs the scalar kernel, so a one-shot query
         # computes exactly what a single-query service flush would for the
         # same vector (a multi-query flush takes the segmented gemm path,

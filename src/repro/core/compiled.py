@@ -47,16 +47,23 @@ unchanged. The pre-segmentation padded schedule is kept verbatim as
 .forward_batch_padded`: it is the equivalence oracle for the segmented
 schedule and the baseline behind the ``speedup_vs_padded`` BENCH field.
 
-Scratch arenas are guarded by a per-sketch lock, so ``predict`` and
-``predict_one`` are safe to call from multiple threads (calls serialize;
-for parallelism use one :class:`CompiledSketch` per thread, e.g. via
-:meth:`with_dtype` on a shared canonical sketch).
+Scratch arenas are exclusive per call, but not behind a single engine
+lock: each :meth:`CompiledSketch.predict` / :meth:`~CompiledSketch
+.predict_one` call checks an *execution context* out of a per-sketch
+replica pool (:class:`_EngineContext`). Contexts share every read-only
+tensor — the flat tree, the canonical weights and the fused execution
+plan — and privately own only the scratch arenas, so N-way concurrency
+costs ~N scratch buffers and concurrent calls run genuinely in parallel
+(the matmuls release the GIL). The pool grows on demand up to
+:attr:`CompiledSketch.max_replicas`; callers beyond that briefly queue
+for a free context, which is the old single-lock behavior N-wide.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import os
 import threading
 
 import numpy as np
@@ -69,6 +76,11 @@ DTYPE_TIERS = {"float64": np.float64, "float32": np.float32}
 
 #: The tier a server should run: model error dwarfs single-precision noise.
 DEFAULT_SERVING_DTYPE = "float32"
+
+#: Default ceiling for a sketch's execution-context pool. One context per
+#: core is all the parallelism the matmuls can use; the floor of 2 keeps a
+#: blocking caller from ever starving an async worker on tiny machines.
+DEFAULT_MAX_REPLICAS = max(2, min(16, os.cpu_count() or 2))
 
 
 def resolve_dtype(name: str) -> np.dtype:
@@ -444,6 +456,36 @@ class _LeafGroup:
             dtype=dtype,
         )
 
+    def replicate(self) -> "_LeafGroup":
+        """A scratch replica of this group for one more execution context.
+
+        Everything read-only at serve time — canonical weights, scaler
+        statistics and the fused augmented plan — is *shared* with this
+        group; only the mutable state (batch arena and the scalar-path
+        workspace) is private, so a replica costs a few empty buffers, not
+        another copy of the model.
+        """
+        rep = object.__new__(_LeafGroup)
+        rep.layer_sizes = self.layer_sizes
+        rep.leaf_ids = self.leaf_ids
+        rep.W = self.W
+        rep.b = self.b
+        rep.x_mean = self.x_mean
+        rep.x_scale = self.x_scale
+        rep.y_mean = self.y_mean
+        rep.y_scale = self.y_scale
+        rep.dtype_name = self.dtype_name
+        rep._dtype = self._dtype
+        rep._A = self._A
+        rep._slot_A = self._slot_A
+        rep._cols = self._cols
+        rep._one_bufs = [np.empty(c, dtype=self._dtype) for c in self._cols]
+        rep._x_one = np.ones(self.layer_sizes[0] + 1, dtype=self._dtype)
+        rep._cap = 0
+        rep._qflat = None
+        rep._hflat = None
+        return rep
+
     def _ensure_arena(self, m: int) -> None:
         if m <= self._cap:
             return
@@ -622,6 +664,35 @@ class _LeafGroup:
         )
 
 
+class _EngineContext:
+    """One exclusive execution context of the replica pool.
+
+    Holds a replica of every leaf group (shared weights/plan, private
+    arenas — see :meth:`_LeafGroup.replicate`) plus private routing
+    scratch. :class:`CompiledSketch` checks a context out per predict
+    call, so concurrent callers each own their scratch instead of
+    serializing on an engine-wide lock.
+    """
+
+    __slots__ = ("groups", "_cap", "_node", "_rows", "_slots")
+
+    def __init__(self, groups: list[_LeafGroup]) -> None:
+        self.groups = groups
+        self._cap = 0
+        self._node = None
+        self._rows = None
+        self._slots = None
+
+    def ensure_arena(self, m: int) -> None:
+        if m <= self._cap:
+            return
+        cap = max(2 * self._cap, m, 256)
+        self._node = np.empty(cap, dtype=np.int64)
+        self._rows = np.arange(cap)
+        self._slots = np.empty(cap, dtype=np.int64)
+        self._cap = cap
+
+
 class CompiledSketch:
     """A fitted NeuroSketch flattened for fast inference.
 
@@ -656,20 +727,21 @@ class CompiledSketch:
         if len(tiers) != 1:
             raise ValueError(f"all leaf groups must share one dtype tier, got {sorted(tiers)}")
         self.dtype_name = tiers.pop()
-        # Scalar-path leaf maps as Python lists, routing scratch, and the
-        # engine lock: arenas are shared state, so concurrent predict /
-        # predict_one calls serialize instead of corrupting each other.
+        # Scalar-path leaf maps as Python lists.
         self._lg_list = self.leaf_group.tolist()
         self._ls_list = self.leaf_slot.tolist()
         # from_stack layouts map leaf id i to slot i; skip the gather then.
         self._slot_identity = bool(
             np.array_equal(self.leaf_slot, np.arange(tree.n_leaves))
         )
-        self._lock = threading.Lock()
-        self._cap = 0
-        self._node = None
-        self._rows = None
-        self._slots = None
+        # Replica pool: context 0 wraps the primary groups (their arenas
+        # would otherwise sit idle); further contexts are scratch replicas
+        # created on demand up to ``max_replicas``. Checked-out contexts are
+        # exclusive, so concurrent predicts never share mutable state.
+        self.max_replicas = DEFAULT_MAX_REPLICAS
+        self._pool = threading.Condition()
+        self._idle = [_EngineContext(self.groups)]
+        self._n_contexts = 1
 
     # ------------------------------------------------------------------ build
 
@@ -846,14 +918,37 @@ class CompiledSketch:
 
     # --------------------------------------------------------------- predict
 
-    def _ensure_arena(self, m: int) -> None:
-        if m <= self._cap:
-            return
-        cap = max(2 * self._cap, m, 256)
-        self._node = np.empty(cap, dtype=np.int64)
-        self._rows = np.arange(cap)
-        self._slots = np.empty(cap, dtype=np.int64)
-        self._cap = cap
+    def _checkout(self) -> _EngineContext:
+        """An exclusive execution context (grows the pool up to the cap)."""
+        with self._pool:
+            while True:
+                if self._idle:
+                    return self._idle.pop()
+                if self._n_contexts < self.max_replicas:
+                    self._n_contexts += 1
+                    return _EngineContext([g.replicate() for g in self.groups])
+                self._pool.wait()
+
+    def _checkin(self, ctx: _EngineContext) -> None:
+        with self._pool:
+            self._idle.append(ctx)
+            self._pool.notify()
+
+    @property
+    def n_replicas(self) -> int:
+        """Execution contexts created so far (grows with peak concurrency)."""
+        with self._pool:
+            return self._n_contexts
+
+    def replica_stats(self) -> dict:
+        """Pool counters, e.g. for a serving layer's stats endpoint."""
+        with self._pool:
+            return {
+                "replicas": self._n_contexts,
+                "idle": len(self._idle),
+                "max_replicas": self.max_replicas,
+                "dtype": self.dtype_name,
+            }
 
     def predict(self, Q: np.ndarray) -> np.ndarray:
         """Answers for a batch of queries, shape ``(m,)`` (always float64)."""
@@ -864,40 +959,46 @@ class CompiledSketch:
         if m == 0:
             return np.empty(0, dtype=np.float64)
         out = np.empty(m, dtype=np.float64)
-        with self._lock:
+        ctx = self._checkout()
+        try:
             if m == 1:
                 # Single-row batches (the service's uncached ask path) skip
                 # routing/segmentation and run the scalar kernel, so a
                 # 1-query ``predict`` and ``predict_one`` answer identically.
-                out[0] = self._predict_one_locked(Q[0])
+                out[0] = self._predict_one_ctx(ctx, Q[0])
                 return out
-            self._ensure_arena(m)
-            leaves = self.tree.route_batch(Q, node=self._node, rows=self._rows)
-            if len(self.groups) == 1:
+            ctx.ensure_arena(m)
+            leaves = self.tree.route_batch(Q, node=ctx._node, rows=ctx._rows)
+            if len(ctx.groups) == 1:
                 if self._slot_identity:
                     slots = leaves
                 else:
-                    slots = np.take(self.leaf_slot, leaves, out=self._slots[:m])
-                self.groups[0].forward_batch(Q, slots, out=out)
+                    slots = np.take(self.leaf_slot, leaves, out=ctx._slots[:m])
+                ctx.groups[0].forward_batch(Q, slots, out=out)
                 return out
             gid = self.leaf_group[leaves]
-            for g, group in enumerate(self.groups):
+            for g, group in enumerate(ctx.groups):
                 sel = np.flatnonzero(gid == g)
                 if sel.size:
                     out[sel] = group.forward_batch(Q[sel], self.leaf_slot[leaves[sel]])
+        finally:
+            self._checkin(ctx)
         return out
 
     def predict_one(self, q: np.ndarray) -> float:
-        """Single-query fast path (scratch arenas; calls serialize on a lock)."""
+        """Single-query fast path (exclusive scratch via the replica pool)."""
         q = np.asarray(q, dtype=np.float64).ravel()
         if q.shape[0] != self.input_dim:
             raise ValueError(f"expected a query of dim {self.input_dim}, got {q.shape[0]}")
-        with self._lock:
-            return self._predict_one_locked(q)
+        ctx = self._checkout()
+        try:
+            return self._predict_one_ctx(ctx, q)
+        finally:
+            self._checkin(ctx)
 
-    def _predict_one_locked(self, q: np.ndarray) -> float:
+    def _predict_one_ctx(self, ctx: _EngineContext, q: np.ndarray) -> float:
         lid = self.tree.route_one(q)
-        return self.groups[self._lg_list[lid]].forward_one(q, self._ls_list[lid])
+        return ctx.groups[self._lg_list[lid]].forward_one(q, self._ls_list[lid])
 
     def predict_padded(self, Q: np.ndarray) -> np.ndarray:
         """Reference padded-schedule batch predict (see

@@ -111,7 +111,29 @@ def format_result_table(result: ExperimentResult) -> str:
         f"train/test={result.n_train}/{result.n_test} seed={result.config.seed}\n"
         f"uniform-answer baseline normalized MAE: {result.uniform_normalized_mae:.4f}\n"
     )
-    return header + _table(headers, rows)
+    footer = ""
+    for est in result.estimators:
+        line = _fmt_concurrent_line(est)
+        if line:
+            footer += f"\n{est.name} {line}"
+    return header + _table(headers, rows) + footer
+
+
+def _fmt_concurrent_line(est) -> str | None:
+    """One-line concurrent-serving summary (None without a concurrent block)."""
+    conc = (est.service or {}).get("concurrent")
+    if not conc:
+        return None
+    parity = conc.get("parity_max_abs_diff", {})
+    exact = all(v == 0.0 for v in parity.values()) if parity else False
+    return (
+        f"serving: {conc['n_clients']} clients over the socket -> "
+        f"{conc['sustained_qps']:,.0f} q/s sustained, "
+        f"p50 {_fmt_seconds(conc['p50_latency_s'])} / "
+        f"p99 {_fmt_seconds(conc['p99_latency_s'])} closed-loop, "
+        f"{conc.get('replicas', '?')} engine replicas, "
+        f"parity {'exact' if exact else 'DRIFTED'} per tier"
+    )
 
 
 def format_comparison_table(benches: dict[str, dict]) -> str:

@@ -74,6 +74,10 @@ class ExperimentConfig:
     infer_dtype: str = "float32"
     # Service path (repro.serve): False skips the service timing block.
     service: bool = True
+    # Concurrent-serving bench: client connections driven against a live
+    # socket server (the `service.concurrent` BENCH block). The issue's
+    # acceptance bar is >= 8.
+    service_clients: int = 8
     # Timing harness.
     n_timing_queries: int = 200
     timing_warmup: int = 20
@@ -118,6 +122,8 @@ class ExperimentConfig:
             raise ValueError("sample_frac must be in (0, 1]")
         if self.n_timing_queries < 1 or self.timing_warmup < 0 or self.timing_repeats < 1:
             raise ValueError("timing knobs must be positive (warmup may be 0)")
+        if self.service_clients < 1:
+            raise ValueError("service_clients must be >= 1")
 
     def fast_profile(self) -> "ExperimentConfig":
         """A copy clamped for CI smoke runs (< 1 minute end-to-end)."""
@@ -269,6 +275,138 @@ def _time_service(estimator, pred, Q_test, Q_timing, config) -> dict:
     return out
 
 
+def _time_service_concurrent(estimator, Q_test, config) -> dict:
+    """Drive a live socket server with concurrent clients (BENCH block).
+
+    Three phases against real :class:`~repro.serve.server.SketchServer`
+    instances on loopback, ``config.service_clients`` connections each:
+
+    - *parity* — per dtype tier, every client sends its full workload as
+      one ``BatchQueryRequest`` on its own sketch entry. With the cache
+      off, an idle entry's batcher hands exactly that block to the shared
+      engine, so the wire answers must be bitwise-equal to a local
+      ``predict`` (JSON float repr round-trips float64 exactly) even while
+      the clients run concurrently across engine replicas.
+    - *sustained* — all clients pipeline single-query frames back to back
+      on one shared entry; the micro-batcher merges them and the flush
+      workers fan out over the replica pool. Reported as sustained q/s.
+    - *closed loop* — one outstanding request per client, per-request
+      wall times pooled into p50/p99 latency.
+    """
+    import threading
+    import time
+
+    from repro.serve import Client, SketchService, start_server_thread
+    from repro.serve.protocol import PROTOCOL_VERSION
+
+    n_clients = int(config.service_clients)
+    tiers = ("float32", "float64")
+    engines = {tier: estimator.compile(dtype=tier) for tier in tiers}
+
+    def fanout(worker) -> float:
+        """Run ``worker(i)`` on every client thread; return the wall time
+        from the common start barrier to the last finish."""
+        barrier = threading.Barrier(n_clients + 1)
+        failures: list[Exception] = []
+
+        def body(i: int) -> None:
+            try:
+                worker(i, barrier)
+            except Exception as exc:
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=body, args=(i,), daemon=True) for i in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait(timeout=60.0)
+        start = time.perf_counter()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        if failures:
+            raise failures[0]
+        return elapsed
+
+    out: dict = {
+        "n_clients": n_clients,
+        "protocol_version": PROTOCOL_VERSION,
+        "dtype": config.infer_dtype,
+    }
+
+    # --- parity: concurrent batch frames, per-client entries, cache off ---
+    with SketchService(cache=False, workers=n_clients) as svc:
+        for tier in tiers:
+            for c in range(n_clients):
+                svc.register(f"{tier}-c{c}", engines[tier])
+        handle = start_server_thread(svc)
+        try:
+            expected = {
+                tier: np.asarray(engines[tier].predict(Q_test), dtype=np.float64)
+                for tier in tiers
+            }
+            diffs = {tier: np.zeros(n_clients) for tier in tiers}
+
+            def parity_worker(i: int, barrier) -> None:
+                with Client.connect(handle.address) as client:
+                    barrier.wait(timeout=60.0)
+                    for tier in tiers:
+                        answers = client.ask_many(Q_test, sketch=f"{tier}-c{i}")
+                        diffs[tier][i] = float(np.max(np.abs(answers - expected[tier])))
+
+            fanout(parity_worker)
+            out["parity_max_abs_diff"] = {
+                tier: float(np.max(diffs[tier])) for tier in tiers
+            }
+        finally:
+            handle.stop()
+
+    # --- throughput + latency: one shared entry on the served tier ---
+    served = engines[config.infer_dtype]
+    n_pipeline = Q_test.shape[0] if config.fast else max(2_000, Q_test.shape[0])
+    Q_pipeline = Q_test[np.arange(n_pipeline) % Q_test.shape[0]]
+    n_closed = min(Q_test.shape[0], 50 if config.fast else 200)
+    # A tight flush deadline: with few outstanding requests per client the
+    # size trigger rarely fires, so the deadline is the latency floor.
+    with SketchService(cache=False, workers=min(n_clients, 8), max_delay_s=5e-4) as svc:
+        svc.register("bench", served)
+        handle = start_server_thread(svc)
+        try:
+            def sustained_worker(i: int, barrier) -> None:
+                with Client.connect(handle.address) as client:
+                    barrier.wait(timeout=60.0)
+                    client.ask_many(Q_pipeline, sketch="bench", pipeline=True)
+
+            elapsed = fanout(sustained_worker)
+            out["sustained_total_queries"] = int(n_clients * n_pipeline)
+            out["sustained_qps"] = out["sustained_total_queries"] / elapsed
+
+            latencies = [np.zeros(n_closed) for _ in range(n_clients)]
+
+            def closed_loop_worker(i: int, barrier) -> None:
+                with Client.connect(handle.address) as client:
+                    barrier.wait(timeout=60.0)
+                    for j in range(n_closed):
+                        t0 = time.perf_counter()
+                        client.ask(Q_test[j], sketch="bench")
+                        latencies[i][j] = time.perf_counter() - t0
+
+            elapsed = fanout(closed_loop_worker)
+            pooled = np.concatenate(latencies)
+            out["closed_loop_qps"] = pooled.size / elapsed
+            out["p50_latency_s"] = float(np.percentile(pooled, 50))
+            out["p99_latency_s"] = float(np.percentile(pooled, 99))
+            engine_stats = svc.stats("bench").get("engine")
+            if engine_stats is not None:
+                out["replicas"] = engine_stats["replicas"]
+                out["max_replicas"] = engine_stats["max_replicas"]
+            out["workers"] = svc.workers
+        finally:
+            handle.stop()
+    return out
+
+
 def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
     """Run one experiment end-to-end.
 
@@ -397,6 +535,8 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
         if config.service and getattr(estimator, "compile_enabled", False):
             say(f"timing {name} service path (micro-batch, answer cache)")
             service = _time_service(estimator, pred, Q_test, Q_timing, config)
+            say(f"timing {name} concurrent serving ({config.service_clients} clients)")
+            service["concurrent"] = _time_service_concurrent(estimator, Q_test, config)
 
         # Construction path: when the estimator has swappable training
         # backends, fit a fresh instance with the *other* backend so the

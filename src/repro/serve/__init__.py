@@ -1,4 +1,4 @@
-"""Query serving: micro-batching, answer caching, async submission.
+"""Query serving: protocol, micro-batching, caching, network front-end.
 
 The compiled engine (:mod:`repro.core.compiled`) makes one process fast;
 this package turns it into a servable system. :class:`SketchService` holds
@@ -6,16 +6,26 @@ a registry of named sketches, accumulates concurrently submitted queries
 into micro-batches for the compiled ``predict`` (size/deadline flush
 triggers), caches answers keyed on quantized query vectors, and exposes
 both async (``submit -> Future``) and blocking (``ask``/``ask_many``)
-submission. ``repro serve`` / ``repro query`` are the CLI front-ends.
+submission. :class:`SketchServer` puts that service on a TCP socket behind
+the versioned JSON-lines protocol (:mod:`repro.serve.protocol`), with
+:class:`Client` as the matching blocking client. ``repro serve`` /
+``repro query`` are the CLI front-ends.
 """
 
 from repro.serve.batching import MicroBatcher
 from repro.serve.cache import AnswerCache
+from repro.serve.client import Client, ServerError
+from repro.serve.server import ServerHandle, SketchServer, start_server_thread
 from repro.serve.service import SketchService, load_sketch
 
 __all__ = [
     "AnswerCache",
+    "Client",
     "MicroBatcher",
+    "ServerError",
+    "ServerHandle",
+    "SketchServer",
     "SketchService",
     "load_sketch",
+    "start_server_thread",
 ]

@@ -32,9 +32,9 @@ class MicroBatcher:
     ----------
     predict:
         ``callable(Q) -> answers`` over a ``(m, d)`` batch; called from the
-        worker thread *or* a draining caller, so it must be thread-safe for
-        batched use (:class:`~repro.core.compiled.CompiledSketch` is — it
-        serializes its scratch arenas behind an internal lock).
+        worker threads *or* a draining caller, so it must be thread-safe for
+        batched use (:class:`~repro.core.compiled.CompiledSketch` is — each
+        call checks a private execution context out of its replica pool).
     max_batch_size:
         Pending-row count that triggers an immediate flush.
     max_delay_s:
@@ -46,6 +46,13 @@ class MicroBatcher:
         default is right for the compiled engines, which route in float64
         and cast into their execution tier internally; a custom sketch
         that wants raw float32 micro-batches passes ``np.float32``.
+    workers:
+        Number of flush worker threads. One (the default) serializes all
+        async flushes; more let successive micro-batches run ``predict``
+        concurrently, which the compiled engine's replica pool turns into
+        real parallelism (each flush checks out its own execution
+        context). Sizing guide: match the engine's ``max_replicas`` /
+        available cores — extra workers beyond that just queue.
     """
 
     def __init__(
@@ -54,15 +61,19 @@ class MicroBatcher:
         max_batch_size: int = 64,
         max_delay_s: float = 2e-3,
         dtype=np.float64,
+        workers: int = 1,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_delay_s < 0:
             raise ValueError("max_delay_s must be >= 0")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self._predict = predict
         self.max_batch_size = int(max_batch_size)
         self.max_delay_s = float(max_delay_s)
         self.dtype = np.dtype(dtype)
+        self.workers = int(workers)
 
         self._cond = threading.Condition()
         self._pending: list[tuple[np.ndarray, Future, bool]] = []
@@ -73,10 +84,10 @@ class MicroBatcher:
         self.n_rows_flushed = 0
         self.max_flush_rows = 0
 
-        # The worker only serves async submit(); blocking callers flush via
-        # run()/drain() themselves, so the thread starts lazily on the first
+        # Workers only serve async submit(); blocking callers flush via
+        # run()/drain() themselves, so the threads start lazily on the first
         # submit and purely-blocking users stay thread-free.
-        self._worker: threading.Thread | None = None
+        self._threads: list[threading.Thread] = []
 
     # ---------------------------------------------------------------- submit
 
@@ -95,11 +106,15 @@ class MicroBatcher:
         with self._cond:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
-            if self._worker is None:
-                self._worker = threading.Thread(
-                    target=self._worker_loop, name="repro-microbatcher", daemon=True
-                )
-                self._worker.start()
+            if not self._threads:
+                for i in range(self.workers):
+                    t = threading.Thread(
+                        target=self._worker_loop,
+                        name=f"repro-microbatcher-{i}",
+                        daemon=True,
+                    )
+                    self._threads.append(t)
+                    t.start()
             self._pending.append((Q_block, fut, bool(scalar)))
             self._pending_rows += Q_block.shape[0]
             self._cond.notify_all()
@@ -208,9 +223,9 @@ class MicroBatcher:
             if self._closed:
                 return
             self._closed = True
-            worker = self._worker
+            threads = list(self._threads)
             self._cond.notify_all()
-        if worker is not None:
+        for worker in threads:
             worker.join(timeout=5.0)
         with self._cond:
             batch = self._take_pending_locked()
@@ -225,4 +240,5 @@ class MicroBatcher:
                 "pending_rows": self._pending_rows,
                 "max_batch_size": self.max_batch_size,
                 "max_delay_s": self.max_delay_s,
+                "workers": self.workers,
             }

@@ -1,0 +1,219 @@
+"""`Client`: the blocking socket client for :class:`SketchServer`.
+
+Speaks exactly the frames of :mod:`repro.serve.protocol` — the client
+never builds a JSON dict by hand, it encodes request dataclasses and
+decodes response dataclasses, so client and server cannot drift apart.
+
+Two batch shapes, because they stress different server paths:
+
+- ``ask_many(Q)`` sends one ``BatchQueryRequest`` — the server answers it
+  with a single batched ``predict``, so the answers are bitwise-identical
+  to calling ``predict(Q)`` locally (per dtype tier);
+- ``ask_many(Q, pipeline=True)`` sends one ``QueryRequest`` per row
+  without waiting between them, then collects the responses by id — the
+  shape a fleet of independent clients produces, and what the sustained
+  throughput benchmark drives.
+
+Error responses raise :class:`ServerError` carrying the structured wire
+``code`` (``unknown-sketch``, ``timeout``, ...); transport failures raise
+the usual ``OSError`` family.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    BatchQueryRequest,
+    BatchQueryResponse,
+    ErrorResponse,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    StatsRequest,
+    StatsResponse,
+)
+
+
+class ServerError(RuntimeError):
+    """The server answered with an :class:`ErrorResponse`."""
+
+    def __init__(self, message: str, code: str = "internal", id: object = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.id = id
+
+
+def parse_address(address: str | tuple[str, int]) -> tuple[str, int]:
+    """``"host:port"`` (or a ready ``(host, port)`` pair) -> ``(host, port)``."""
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address must look like host:port, got {address!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"address must look like host:port, got {address!r}") from None
+
+
+class Client:
+    """One connection to a :class:`SketchServer`.
+
+    Build with :meth:`connect` (or use as a context manager)::
+
+        with Client.connect("127.0.0.1:7537") as client:
+            answer = client.ask([0.2, 0.8], sketch="pm25-avg")
+
+    The client is not thread-safe — it is one ordered request/response
+    stream; concurrent callers open their own connections (that is the
+    point of the server).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        max_line_bytes: int = protocol.MAX_LINE_BYTES,
+    ) -> None:
+        self.address = (host, int(port))
+        self.timeout_s = float(timeout_s)
+        self.max_line_bytes = int(max_line_bytes)
+        self.last_cached: bool | None = None
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._next_id = 0
+
+    @classmethod
+    def connect(
+        cls, address: str | tuple[str, int], timeout_s: float = 30.0
+    ) -> "Client":
+        host, port = parse_address(address)
+        client = cls(host, port, timeout_s=timeout_s)
+        client._open()
+        return client
+
+    def _open(self) -> None:
+        self._sock = socket.create_connection(self.address, timeout=self.timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------ wire
+
+    def _require_open(self) -> socket.socket:
+        if self._sock is None:
+            raise ConnectionError("client is closed (use Client.connect)")
+        return self._sock
+
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _send(self, request) -> None:
+        line = protocol.encode(request).encode("utf-8") + b"\n"
+        self._require_open().sendall(line)
+
+    def _read_response(self):
+        raw = self._rfile.readline(self.max_line_bytes + 2)
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        response = protocol.decode_response(raw)
+        if isinstance(response, ErrorResponse):
+            raise ServerError(response.error, code=response.code, id=response.id)
+        return response
+
+    def _roundtrip(self, request):
+        self._send(request)
+        return self._read_response()
+
+    # --------------------------------------------------------------- queries
+
+    def ask(self, q, sketch: str | None = None) -> float:
+        """One query; returns the answer (``last_cached`` records the hit bit)."""
+        request = QueryRequest(
+            q=tuple(float(x) for x in np.asarray(q, dtype=np.float64).ravel()),
+            id=self._fresh_id(),
+            sketch=sketch,
+        )
+        response = self._roundtrip(request)
+        if not isinstance(response, QueryResponse):
+            raise ProtocolError(f"expected a query response, got {response!r}")
+        self.last_cached = response.cached
+        return response.answer
+
+    def ask_many(self, Q, sketch: str | None = None, pipeline: bool = False) -> np.ndarray:
+        """Answer a block of queries; returns answers in input order.
+
+        ``pipeline=False`` (default) sends one ``BatchQueryRequest`` —
+        one wire frame, one batched ``predict`` on the server.
+        ``pipeline=True`` streams one ``QueryRequest`` per row back to
+        back and matches the responses by id, exercising the server's
+        micro-batching the way independent clients would.
+        """
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        if Q.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        if not pipeline:
+            request = BatchQueryRequest(
+                q=tuple(tuple(float(x) for x in row) for row in Q),
+                id=self._fresh_id(),
+                sketch=sketch,
+            )
+            response = self._roundtrip(request)
+            if not isinstance(response, BatchQueryResponse):
+                raise ProtocolError(f"expected a batch response, got {response!r}")
+            return np.asarray(response.answers, dtype=np.float64)
+        ids = [self._fresh_id() for _ in range(Q.shape[0])]
+        frames = [
+            protocol.encode(
+                QueryRequest(
+                    q=tuple(float(x) for x in Q[i]), id=ids[i], sketch=sketch
+                )
+            )
+            for i in range(Q.shape[0])
+        ]
+        self._require_open().sendall(("\n".join(frames) + "\n").encode("utf-8"))
+        by_id: dict[object, float] = {}
+        for _ in ids:
+            response = self._read_response()
+            if not isinstance(response, QueryResponse):
+                raise ProtocolError(f"expected a query response, got {response!r}")
+            by_id[response.id] = response.answer
+        try:
+            return np.asarray([by_id[i] for i in ids], dtype=np.float64)
+        except KeyError as exc:
+            raise ProtocolError(f"server never answered request id {exc.args[0]!r}") from None
+
+    def stats(self, sketch: str | None = None) -> dict:
+        """The server-side counters for one sketch (batcher/cache/engine/server)."""
+        response = self._roundtrip(StatsRequest(id=self._fresh_id(), sketch=sketch))
+        if not isinstance(response, StatsResponse):
+            raise ProtocolError(f"expected a stats response, got {response!r}")
+        return response.stats
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

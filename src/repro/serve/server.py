@@ -1,0 +1,423 @@
+"""`SketchServer`: the asyncio socket front-end over `SketchService`.
+
+Many concurrent clients, one process, one engine. Each connection speaks
+the newline-delimited protocol of :mod:`repro.serve.protocol`; every frame
+becomes its own asyncio task, so a connection can pipeline requests and a
+slow batch never blocks the single queries behind it. Single queries go
+through :meth:`SketchService.submit` — the micro-batcher merges whatever
+arrives within the flush window into one compiled ``predict`` — and
+blocking batch/stats work runs on a small thread pool. Under load the
+service's flush workers check execution contexts out of the engine's
+replica pool (:mod:`repro.core.compiled`), so concurrent flushes run
+genuinely in parallel instead of queueing on a lock.
+
+Robustness contract (exercised by ``tests/test_server.py``):
+
+- a malformed or oversized line yields one :class:`ErrorResponse` and the
+  connection stays alive;
+- reads are bounded — a line beyond the hard stream limit is discarded
+  without buffering it;
+- every request has a deadline (``request_timeout_s``) and times out into
+  a ``timeout`` error instead of wedging the connection;
+- :meth:`stop` with ``drain=True`` answers everything in flight before
+  closing — no Future is dropped.
+
+:func:`start_server_thread` runs the whole loop in a daemon thread and
+returns a handle with ``.address`` / ``.stop()``, which is how the CLI,
+the eval runner and the tests embed a live server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    BatchQueryRequest,
+    BatchQueryResponse,
+    ErrorResponse,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    Request,
+    Response,
+    StatsRequest,
+    StatsResponse,
+)
+from repro.serve.service import SketchService
+
+
+class SketchServer:
+    """Serve a :class:`SketchService` over a TCP socket.
+
+    Parameters
+    ----------
+    service:
+        The registry/batcher/cache façade to answer from. The server does
+        not own it — callers that built the service close it themselves
+        after :meth:`stop`.
+    host, port:
+        Listen address; ``port=0`` picks a free port (read it back from
+        :attr:`address` after :meth:`start`).
+    max_line_bytes:
+        Per-frame byte bound. Lines over this are answered with an
+        ``oversized`` error; lines over roughly twice this never reach
+        memory at once (the stream discards to the next newline).
+    request_timeout_s:
+        Deadline per request, measured from decode to answer. Misses
+        resolve to a ``timeout`` error and cancel the pending Future.
+    """
+
+    def __init__(
+        self,
+        service: SketchService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_line_bytes: int = protocol.MAX_LINE_BYTES,
+        request_timeout_s: float = 30.0,
+    ) -> None:
+        if max_line_bytes < 64:
+            raise ValueError("max_line_bytes must be >= 64")
+        if request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be > 0")
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self.max_line_bytes = int(max_line_bytes)
+        self.request_timeout_s = float(request_timeout_s)
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(2, getattr(service, "workers", 1) + 1),
+            thread_name_prefix="repro-serve",
+        )
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._inflight: set[asyncio.Task] = set()
+        self._draining = False
+        self._stopped = False
+        # Counters (loop thread only; surfaced under stats()["server"]).
+        self.n_connections = 0
+        self.n_requests = 0
+        self.n_errors = 0
+
+    # -------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (call once, on the loop)."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        # Stream limit sits above the frame bound so a line slightly over
+        # max_line_bytes still arrives whole and gets a proper per-frame
+        # `oversized` error; only grossly-over lines hit the discard path.
+        self._server = await asyncio.start_server(
+            self._handle_conn,
+            self.host,
+            self.port,
+            limit=self.max_line_bytes + 1024,
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting, settle in-flight work, close connections.
+
+        ``drain=True`` (default) awaits every in-flight request task so
+        each pending Future resolves and its response line is written —
+        nothing submitted before the stop is dropped. ``drain=False``
+        cancels them instead.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._draining = True  # frames decoded from here on answer shutting-down
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            while self._inflight:
+                await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        else:
+            for task in list(self._inflight):
+                task.cancel()
+            if self._inflight:
+                await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        for writer in list(self._writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    def server_stats(self) -> dict:
+        return {
+            "connections": self.n_connections,
+            "open_connections": len(self._writers),
+            "requests": self.n_requests,
+            "errors": self.n_errors,
+            "inflight": len(self._inflight),
+            "max_line_bytes": self.max_line_bytes,
+            "request_timeout_s": self.request_timeout_s,
+        }
+
+    # ------------------------------------------------------------ connections
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        self.n_connections += 1
+        write_lock = asyncio.Lock()
+        frame_tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as exc:
+                    line = exc.partial  # EOF; a final unterminated frame still counts
+                    if not line.strip():
+                        break
+                except asyncio.LimitOverrunError:
+                    await self._discard_to_newline(reader)
+                    self.n_errors += 1
+                    await self._write(
+                        writer,
+                        write_lock,
+                        ErrorResponse(
+                            error=(
+                                "request line exceeds the "
+                                f"{self.max_line_bytes}-byte bound"
+                            ),
+                            code="oversized",
+                        ),
+                    )
+                    continue
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                stripped = line.rstrip(b"\r\n")
+                if not stripped.strip():
+                    if not line.endswith(b"\n"):
+                        break
+                    continue
+                frame_task = asyncio.ensure_future(
+                    self._serve_frame(stripped, writer, write_lock)
+                )
+                frame_tasks.add(frame_task)
+                self._inflight.add(frame_task)
+                frame_task.add_done_callback(frame_tasks.discard)
+                frame_task.add_done_callback(self._inflight.discard)
+                if not line.endswith(b"\n"):
+                    break  # that was the EOF frame
+        finally:
+            if frame_tasks:
+                await asyncio.gather(*list(frame_tasks), return_exceptions=True)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _discard_to_newline(self, reader: asyncio.StreamReader) -> None:
+        """Drop the rest of an over-limit line without buffering it whole."""
+        while True:
+            try:
+                await reader.readuntil(b"\n")
+                return
+            except asyncio.LimitOverrunError as exc:
+                # `consumed` bytes are buffered and all belong to the
+                # oversized line (or end exactly at its newline) — eat them
+                # and keep scanning.
+                await reader.readexactly(exc.consumed)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return
+
+    # --------------------------------------------------------------- requests
+
+    async def _serve_frame(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        self.n_requests += 1
+        rid: object = None
+        try:
+            protocol.check_line_size(line, self.max_line_bytes)
+            request = protocol.decode_request(line)
+            rid = request.id
+            if self._draining:
+                raise ProtocolError("server is draining", code="shutting-down")
+            response = await self._dispatch(request)
+        except ProtocolError as exc:
+            response = exc.to_response(rid)
+        except KeyError as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            response = ErrorResponse(error=str(message), code="unknown-sketch", id=rid)
+        except (TimeoutError, asyncio.TimeoutError):
+            response = ErrorResponse(
+                error=f"request missed the {self.request_timeout_s}s deadline",
+                code="timeout",
+                id=rid,
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # the sketch itself raised — report, don't die
+            response = ErrorResponse(
+                error=f"{type(exc).__name__}: {exc}", code="internal", id=rid
+            )
+        if isinstance(response, ErrorResponse):
+            self.n_errors += 1
+        await self._write(writer, write_lock, response)
+
+    async def _dispatch(self, request: Request) -> Response:
+        loop = asyncio.get_running_loop()
+        if isinstance(request, StatsRequest):
+            stats = await loop.run_in_executor(
+                self._executor, self.service.stats, request.sketch
+            )
+            stats["server"] = self.server_stats()
+            return StatsResponse(stats=stats, id=request.id)
+        if isinstance(request, BatchQueryRequest):
+            Q = np.asarray(request.q, dtype=np.float64)
+            answers = await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._executor, self.service.ask_many, Q, request.sketch
+                ),
+                self.request_timeout_s,
+            )
+            return BatchQueryResponse(
+                answers=tuple(float(a) for a in answers),
+                id=request.id,
+                sketch=request.sketch,
+            )
+        assert isinstance(request, QueryRequest)
+        # submit() is cheap (cache probe + enqueue) — run it on the loop so
+        # concurrent queries land in the same micro-batch window.
+        fut = self.service.submit(np.asarray(request.q, dtype=np.float64), request.sketch)
+        answer = await asyncio.wait_for(
+            asyncio.wrap_future(fut), self.request_timeout_s
+        )
+        return QueryResponse(
+            answer=float(answer),
+            cached=bool(getattr(fut, "cached", False)),
+            id=request.id,
+            sketch=request.sketch,
+        )
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: Response,
+    ) -> None:
+        try:
+            payload = protocol.encode(response)
+        except ValueError:  # non-finite answer; never put bare NaN on the wire
+            payload = protocol.encode(
+                ErrorResponse(
+                    error="answer is not finite",
+                    code="internal",
+                    id=getattr(response, "id", None),
+                )
+            )
+        async with write_lock:  # frames must never interleave mid-line
+            if writer.is_closing():
+                return
+            writer.write(payload.encode("utf-8") + b"\n")
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+# ----------------------------------------------------------- thread embedding
+
+
+class ServerHandle:
+    """A running server on its own event-loop thread.
+
+    ``address`` is the bound ``(host, port)``; :meth:`stop` drains and
+    joins. Context-manager use stops on exit.
+    """
+
+    def __init__(
+        self, server: SketchServer, loop: asyncio.AbstractEventLoop, thread: threading.Thread
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.server.address is not None
+        return self.server.address
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        done = asyncio.run_coroutine_threadsafe(self.server.stop(drain=drain), self._loop)
+        done.result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_server_thread(
+    service: SketchService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_line_bytes: int = protocol.MAX_LINE_BYTES,
+    request_timeout_s: float = 30.0,
+) -> ServerHandle:
+    """Start a :class:`SketchServer` on a daemon event-loop thread.
+
+    Returns once the socket is bound (or re-raises the bind error in the
+    caller). The CLI, the eval runner's concurrency bench and the tests
+    all embed servers through this.
+    """
+    server = SketchServer(
+        service,
+        host=host,
+        port=port,
+        max_line_bytes=max_line_bytes,
+        request_timeout_s=request_timeout_s,
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    boot_error: list[BaseException] = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:
+            boot_error.append(exc)
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()  # until ServerHandle.stop() calls loop.stop()
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-sketch-server", daemon=True)
+    thread.start()
+    started.wait(timeout=30.0)
+    if boot_error:
+        raise boot_error[0]
+    return ServerHandle(server, loop, thread)

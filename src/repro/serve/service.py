@@ -108,6 +108,13 @@ class SketchService:
         ``compile``) — is re-tiered to it at registration. ``None``
         (default) serves every sketch exactly as handed in, so answers stay
         bitwise-identical to the caller's own ``predict``.
+    workers:
+        Flush worker threads per registered sketch (see
+        :class:`MicroBatcher`). With a compiled sketch, each concurrent
+        flush checks its own execution context out of the engine's replica
+        pool, so N workers mean up to N predicts genuinely in parallel;
+        registration raises the engine's ``max_replicas`` to at least this
+        many so the workers never starve.
     """
 
     def __init__(
@@ -119,13 +126,17 @@ class SketchService:
         cache_entries: int = 65_536,
         cache_exact: bool = False,
         infer_dtype: str | None = None,
+        workers: int = 1,
     ) -> None:
         if infer_dtype is not None:
             from repro.core.compiled import resolve_dtype
 
             resolve_dtype(infer_dtype)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.max_batch_size = int(max_batch_size)
         self.max_delay_s = float(max_delay_s)
+        self.workers = int(workers)
         self.infer_dtype = infer_dtype
         self._cache_spec = cache
         self._cache_resolution = float(cache_resolution)
@@ -158,6 +169,10 @@ class SketchService:
                 sketch = sketch.with_dtype(self.infer_dtype)
             elif callable(getattr(sketch, "compile", None)):
                 sketch = sketch.compile(dtype=self.infer_dtype)
+        # A compiled engine must offer at least one execution context per
+        # flush worker, or concurrent flushes would queue on the pool.
+        if isinstance(getattr(sketch, "max_replicas", None), int):
+            sketch.max_replicas = max(sketch.max_replicas, self.workers)
         cache_ns = b""
         if self._cache_spec is False or self._cache_spec is None:
             cache = None
@@ -174,6 +189,7 @@ class SketchService:
             sketch.predict,
             max_batch_size=self.max_batch_size,
             max_delay_s=self.max_delay_s,
+            workers=self.workers,
         )
         self._entries[key] = _Entry(key, sketch, batcher, cache, cache_ns)
         if default or self._default is None:
@@ -202,6 +218,8 @@ class SketchService:
         The answer cache is consulted synchronously — a hit returns an
         already-resolved Future without touching the queue; a miss enqueues
         the query and populates the cache when the micro-batch flushes.
+        Either way the returned Future carries a ``cached`` attribute so
+        callers (the wire servers) can report hits without diffing stats.
         """
         entry = self._entry(sketch)
         q = np.asarray(q, dtype=np.float64).ravel()
@@ -210,8 +228,10 @@ class SketchService:
             if cached is not None:
                 fut: Future = Future()
                 fut.set_result(cached)
+                fut.cached = True
                 return fut
         fut = entry.batcher.submit(q[None, :], scalar=True)
+        fut.cached = False
         if entry.cache is not None:
 
             def _store(done: Future, _q=q, _entry=entry) -> None:
@@ -279,13 +299,17 @@ class SketchService:
             entry.batcher.drain()
 
     def stats(self, sketch: str | None = None) -> dict:
-        """Batcher + cache counters for one sketch (or the default)."""
+        """Batcher + cache (+ engine replica pool) counters for one sketch."""
         entry = self._entry(sketch)
-        return {
+        out = {
             "sketch": entry.name,
             "batcher": entry.batcher.stats(),
             "cache": entry.cache.stats() if entry.cache is not None else None,
         }
+        replica_stats = getattr(entry.sketch, "replica_stats", None)
+        if callable(replica_stats):
+            out["engine"] = replica_stats()
+        return out
 
     def close(self) -> None:
         """Stop every batcher worker (idempotent; pending work is flushed)."""

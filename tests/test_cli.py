@@ -308,6 +308,30 @@ def test_serve_round_trips_json_lines(capsys, monkeypatch):
     assert float(capsys.readouterr().out.strip()) == out[1]["answer"]
 
 
+def test_serve_stdio_speaks_versioned_protocol_frames(capsys, monkeypatch):
+    import io
+
+    lines = [
+        json.dumps({"v": 1, "op": "query", "id": "a", "q": [0.1, 0.2, 0.3, 0.4]}),
+        json.dumps({"v": 1, "op": "batch", "id": "b",
+                    "q": [[0.1, 0.2, 0.3, 0.4], [0.5, 0.6, 0.7, 0.8]]}),
+        json.dumps({"v": 1, "op": "stats", "id": "c"}),
+        json.dumps({"v": 99, "op": "query", "q": [0.1, 0.2, 0.3, 0.4]}),
+        json.dumps({"v": 1, "op": "query", "id": "d", "sketch": "nope",
+                    "q": [0.1, 0.2, 0.3, 0.4]}),
+    ]
+    monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+    rc = main(["serve", "--sketch", GOLDEN_SKETCH])
+    assert rc == 0
+    out = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+    assert len(out) == 5
+    assert out[0]["ok"] is True and out[0]["id"] == "a" and out[0]["v"] == 1
+    assert out[1]["ok"] is True and out[1]["answers"][0] == out[0]["answer"]
+    assert out[2]["ok"] is True and out[2]["stats"]["sketch"] == "default"
+    assert out[3]["ok"] is False and out[3]["code"] == "unsupported-version"
+    assert out[4]["ok"] is False and out[4]["code"] == "unknown-sketch"
+
+
 def test_serve_no_cache_never_reports_cached(capsys, monkeypatch):
     import io
 

@@ -224,7 +224,10 @@ def test_predict_steady_state_reuses_arenas(dtype):
     engine.predict(batch)  # arena fully grown
     group = engine.groups[0]
     qflat, hflat = group._qflat, list(group._hflat)
-    node, rows = engine._node, engine._rows
+    # Single-threaded callers always reuse context 0, which wraps the
+    # primary groups; its routing scratch must be reused too.
+    (ctx,) = engine._idle
+    node, rows = ctx._node, ctx._rows
 
     footprint = _activation_footprint(engine, batch.shape[0])
     tracemalloc.start()
@@ -237,7 +240,8 @@ def test_predict_steady_state_reuses_arenas(dtype):
     # Identical arena objects, no regrowth...
     assert group._qflat is qflat
     assert all(a is b for a, b in zip(group._hflat, hflat))
-    assert engine._node is node and engine._rows is rows
+    assert engine._idle == [ctx]
+    assert ctx._node is node and ctx._rows is rows
     # ...and per-call allocation is O(m) metadata plus the returned answers,
     # far below re-materializing the activation buffers each call.
     assert peak - before < max(footprint, 1) * 0.5
@@ -259,8 +263,8 @@ def test_predict_one_steady_state_is_allocation_free():
 
 
 def test_concurrent_predict_calls_are_safe():
-    """Arenas are shared state; the engine lock must serialize callers so
-    concurrent predicts (the MicroBatcher drain path) stay correct."""
+    """Concurrent predicts check exclusive contexts out of the replica
+    pool (no engine-wide lock), so they must stay correct under overlap."""
     ns, Q, rng = make_sketch(seed=9, dim=3, height=4, n=600)
     engine = ns.compile(dtype="float32")
     batches = [rng.uniform(0.0, 1.0, size=(257, 3)) for _ in range(4)]
@@ -284,3 +288,58 @@ def test_concurrent_predict_calls_are_safe():
     assert not errors
     for got, want in zip(results, expected):
         np.testing.assert_array_equal(got, want)
+    # Overlapping callers forced the pool past one context, and every
+    # context came back idle once the callers finished.
+    stats = engine.replica_stats()
+    assert 1 <= stats["replicas"] <= engine.max_replicas
+    assert stats["idle"] == stats["replicas"]
+
+
+def test_replica_pool_grows_under_held_checkouts_and_caps():
+    ns, Q, rng = make_sketch(seed=10, dim=3, height=3, n=400)
+    engine = ns.compile(dtype="float32")
+    engine.max_replicas = 3
+    held = [engine._checkout() for _ in range(3)]
+    assert engine.n_replicas == 3 and engine.replica_stats()["idle"] == 0
+    # A 4th caller must block until a context is returned, not grow past
+    # the cap; release one from another thread and the wait resolves.
+    release = threading.Timer(0.05, engine._checkin, args=(held[0],))
+    release.start()
+    ctx = engine._checkout()
+    assert engine.n_replicas == 3
+    for c in (ctx, held[1], held[2]):
+        engine._checkin(c)
+    release.join()
+    assert engine.replica_stats()["idle"] == 3
+
+
+def test_replicas_share_canonical_and_plan_tensors():
+    ns, Q, _ = make_sketch(seed=11, dim=3, height=3, n=400)
+    engine = ns.compile(dtype="float32")
+    group = engine.groups[0]
+    rep = group.replicate()
+    # Weights, scaler stats and the fused plan are the same arrays...
+    assert all(a is b for a, b in zip(rep.W, group.W))
+    assert all(a is b for a, b in zip(rep._A, group._A))
+    assert rep.x_mean is group.x_mean and rep.y_scale is group.y_scale
+    # ...while the mutable scratch is private.
+    assert all(a is not b for a, b in zip(rep._one_bufs, group._one_bufs))
+    assert rep._x_one is not group._x_one
+    assert rep._qflat is None and rep._cap == 0
+    # A replica-run forward matches the primary bitwise.
+    q = np.ascontiguousarray(Q[0])
+    slot = engine.leaf_slot[engine.tree.route_one(q)]
+    assert rep.forward_one(q, int(slot)) == group.forward_one(q, int(slot))
+
+
+def test_serialized_payload_has_no_pool_state(tmp_path):
+    ns, Q, _ = make_sketch(seed=12, dim=3, height=3, n=400)
+    engine = ns.compile(dtype="float32")
+    engine.max_replicas = 5
+    _ = [engine.predict(Q[:8]) for _ in range(2)]
+    path = str(tmp_path / "pool.json.gz")
+    engine.save(path)
+    again = CompiledSketch.load(path)
+    # Pool state is runtime-only: a fresh load starts from one context.
+    assert again.n_replicas == 1
+    np.testing.assert_array_equal(again.predict(Q[:8]), engine.predict(Q[:8]))

@@ -277,6 +277,20 @@ def test_service_block_serializes_into_bench_json(tiny_result, tmp_path):
     assert uniform["service"] is None
 
 
+def test_service_concurrent_block_measures_a_live_server(tiny_result):
+    conc = tiny_result.estimator("neurosketch").service["concurrent"]
+    assert conc["n_clients"] >= 8
+    assert conc["protocol_version"] == 1
+    # The acceptance bar: concurrent clients over the socket answer
+    # float-exactly per dtype tier (each client's batch is the engine's
+    # whole flush, so gemm composition matches the local predict).
+    assert conc["parity_max_abs_diff"] == {"float32": 0.0, "float64": 0.0}
+    assert conc["sustained_qps"] > 0.0 and conc["closed_loop_qps"] > 0.0
+    assert conc["sustained_total_queries"] >= conc["n_clients"]
+    assert 0.0 < conc["p50_latency_s"] <= conc["p99_latency_s"]
+    assert 1 <= conc["replicas"] <= conc["max_replicas"]
+
+
 def test_runner_records_build_backend_comparison(tiny_result):
     """The build block must carry both backends' construction times, the
     stacked speedup, and both accuracies (they must agree within noise)."""

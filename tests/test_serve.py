@@ -322,6 +322,77 @@ def test_register_on_closed_service_raises_and_leaks_nothing():
     assert svc.sketch_names() == ()
 
 
+# -------------------------------------------------------- workers / cached
+
+
+def test_submit_futures_carry_the_cached_flag():
+    with SketchService(max_delay_s=1e-3) as svc:
+        svc.register("sum", SumSketch())
+        q = np.array([1.0, 2.0])
+        miss = svc.submit(q)
+        assert miss.cached is False
+        assert miss.result(timeout=5.0) == 3.0
+        hit = svc.submit(q)
+        assert hit.cached is True
+        assert hit.result(timeout=0) == 3.0  # already resolved, no queue trip
+
+
+def test_multiple_workers_flush_concurrently():
+    """N workers mean successive micro-batches overlap in predict."""
+    gate = threading.Semaphore(0)
+    in_flight = []
+    lock = threading.Lock()
+
+    def stalling_predict(Q):
+        with lock:
+            in_flight.append(1)
+        gate.acquire()  # hold this flush until released
+        return np.atleast_2d(Q).sum(axis=1)
+
+    batcher = MicroBatcher(stalling_predict, max_batch_size=1, max_delay_s=0.0, workers=2)
+    try:
+        deadline = time.perf_counter() + 5.0
+
+        def wait_for_flushes(n):
+            while len(in_flight) < n:
+                assert time.perf_counter() < deadline, "worker never started a flush"
+                time.sleep(0.005)
+
+        # Submit the second block only once the first flush is stalled
+        # inside predict; a second worker must pick it up while the first
+        # is still blocked — a single-worker batcher would serialize them.
+        futs = [batcher.submit(np.array([[1.0, 0.0]]), scalar=True)]
+        wait_for_flushes(1)
+        futs.append(batcher.submit(np.array([[2.0, 0.0]]), scalar=True))
+        wait_for_flushes(2)
+        gate.release()
+        gate.release()
+        assert sorted(f.result(timeout=5.0) for f in futs) == [1.0, 2.0]
+        assert batcher.stats()["workers"] == 2
+    finally:
+        gate.release()
+        gate.release()
+        batcher.close()
+
+
+def test_workers_knob_is_validated():
+    with pytest.raises(ValueError, match="workers"):
+        MicroBatcher(SumSketch().predict, workers=0)
+    with pytest.raises(ValueError, match="workers"):
+        SketchService(workers=0)
+
+
+def test_register_raises_engine_max_replicas_to_worker_count(golden_compiled):
+    engine = golden_compiled.with_dtype("float32")
+    engine.max_replicas = 1
+    with SketchService(cache=False, workers=6) as svc:
+        svc.register("golden", engine)
+        assert engine.max_replicas == 6
+        stats = svc.stats("golden")
+        assert stats["engine"]["max_replicas"] == 6
+        assert stats["batcher"]["workers"] == 6
+
+
 # ---------------------------------------------------------------- dtype tiers
 
 

@@ -1,0 +1,349 @@
+"""The asyncio socket server: round trips, concurrency parity, robustness."""
+
+import socket
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    Client,
+    ServerError,
+    SketchService,
+    load_sketch,
+    start_server_thread,
+)
+from repro.serve.client import parse_address
+
+DATA = Path(__file__).resolve().parent / "data"
+
+
+class SumSketch:
+    """Deterministic fake sketch: answer = sum of query components."""
+
+    def predict(self, Q):
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        return Q.sum(axis=1)
+
+
+class SlowSketch(SumSketch):
+    """SumSketch that sleeps per predict call (timeout/drain tests)."""
+
+    def __init__(self, delay_s: float):
+        self.delay_s = delay_s
+        self.n_calls = 0
+
+    def predict(self, Q):
+        self.n_calls += 1
+        time.sleep(self.delay_s)
+        return super().predict(Q)
+
+
+@pytest.fixture()
+def golden_compiled():
+    return load_sketch(str(DATA / "golden_sketch.json.gz"))
+
+
+@pytest.fixture()
+def sum_server():
+    """A live server over a SumSketch service (cache on, 2 workers)."""
+    svc = SketchService(workers=2, max_delay_s=1e-3)
+    svc.register("sum", SumSketch())
+    handle = start_server_thread(svc)
+    try:
+        yield svc, handle
+    finally:
+        handle.stop()
+        svc.close()
+
+
+# ------------------------------------------------------------- basic round trip
+
+
+def test_client_round_trip_query_batch_stats(sum_server):
+    _, handle = sum_server
+    with Client.connect(handle.address) as client:
+        assert client.ask([1.0, 2.0]) == 3.0
+        assert client.last_cached is False
+        assert client.ask([1.0, 2.0]) == 3.0
+        assert client.last_cached is True  # answer cache hit, flagged on the wire
+        Q = np.arange(12.0).reshape(4, 3)
+        np.testing.assert_array_equal(client.ask_many(Q), Q.sum(axis=1))
+        np.testing.assert_array_equal(
+            client.ask_many(Q, pipeline=True), Q.sum(axis=1)
+        )
+        stats = client.stats()
+        assert stats["sketch"] == "sum"
+        assert stats["server"]["requests"] >= 4
+        assert stats["batcher"]["workers"] == 2
+
+
+def test_parse_address_shapes():
+    assert parse_address("127.0.0.1:80") == ("127.0.0.1", 80)
+    assert parse_address(("h", 9)) == ("h", 9)
+    for bad in ("no-port", ":80", "h:not-a-number"):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+def test_unknown_sketch_is_a_structured_error(sum_server):
+    _, handle = sum_server
+    with Client.connect(handle.address) as client:
+        with pytest.raises(ServerError) as excinfo:
+            client.ask([1.0], sketch="nope")
+        assert excinfo.value.code == "unknown-sketch"
+        assert client.ask([1.0, 1.0], sketch="sum") == 2.0  # connection survived
+
+
+# --------------------------------------------------- concurrent answer parity
+
+
+@pytest.mark.parametrize("tier", ["float64", "float32"])
+def test_concurrent_clients_get_bitwise_identical_answers(golden_compiled, tier):
+    """N clients over the socket == local predict, float-exact per tier.
+
+    Each client batches its workload on its own sketch entry (all entries
+    share one engine), so concurrency exercises the replica pool while
+    every flush hands the engine exactly that client's block — the wire
+    answers must match a local ``predict`` to the bit.
+    """
+    engine = golden_compiled.with_dtype(tier)
+    n_clients = 8
+    rng = np.random.default_rng(5)
+    Q = rng.uniform(0.0, 1.0, size=(48, engine.input_dim))
+    expected = engine.predict(Q)
+    svc = SketchService(cache=False, workers=n_clients)
+    for c in range(n_clients):
+        svc.register(f"c{c}", engine)
+    handle = start_server_thread(svc)
+    try:
+        results = [None] * n_clients
+        barrier = threading.Barrier(n_clients)
+
+        def worker(i):
+            with Client.connect(handle.address) as client:
+                barrier.wait(timeout=30.0)
+                results[i] = client.ask_many(Q, sketch=f"c{i}")
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        for i, answers in enumerate(results):
+            assert answers is not None, f"client {i} never answered"
+            np.testing.assert_array_equal(answers, expected)
+    finally:
+        handle.stop()
+        svc.close()
+
+
+def test_pipelined_concurrent_clients_share_one_entry(sum_server):
+    # The throughput shape: many clients pipelining single-query frames
+    # into one shared entry; answers must come back matched to their ids.
+    _, handle = sum_server
+    n_clients = 8
+    rng = np.random.default_rng(9)
+    blocks = [rng.uniform(size=(25, 3)) for _ in range(n_clients)]
+    results = [None] * n_clients
+
+    def worker(i):
+        with Client.connect(handle.address) as client:
+            results[i] = client.ask_many(blocks[i], sketch="sum", pipeline=True)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30.0)
+    for i in range(n_clients):
+        np.testing.assert_allclose(results[i], blocks[i].sum(axis=1), rtol=1e-12)
+
+
+# ----------------------------------------------------------------- robustness
+
+
+def test_malformed_lines_keep_the_connection_alive(sum_server):
+    _, handle = sum_server
+    with Client.connect(handle.address) as client:
+        sock = client._require_open()
+        for garbage in (b"this is not json\n", b'"a string"\n', b'{"op": "nope"}\n'):
+            sock.sendall(garbage)
+            with pytest.raises(ServerError) as excinfo:
+                client._read_response()
+            assert excinfo.value.code in ("bad-json", "bad-request")
+        assert client.ask([2.0, 3.0]) == 5.0
+
+
+def test_oversized_line_yields_error_and_connection_survives():
+    svc = SketchService(cache=False)
+    svc.register("sum", SumSketch())
+    handle = start_server_thread(svc, max_line_bytes=512)
+    try:
+        with Client.connect(handle.address) as client:
+            sock = client._require_open()
+            # Over the frame bound but under the hard stream limit: the
+            # whole line arrives and is rejected by size check.
+            sock.sendall(b"[" + b"0.5," * 160 + b"0.5]\n")
+            with pytest.raises(ServerError) as excinfo:
+                client._read_response()
+            assert excinfo.value.code == "oversized"
+            # Grossly over even the stream limit: the discard path eats it
+            # without buffering the whole line.
+            sock.sendall(b"[" + b"0.5," * 20_000 + b"0.5]\n")
+            with pytest.raises(ServerError) as excinfo:
+                client._read_response()
+            assert excinfo.value.code == "oversized"
+            assert client.ask([1.0, 1.0], sketch="sum") == 2.0
+    finally:
+        handle.stop()
+        svc.close()
+
+
+def test_slow_sketch_times_out_with_structured_error():
+    svc = SketchService(cache=False, max_delay_s=1e-3)
+    svc.register("slow", SlowSketch(delay_s=2.0))
+    handle = start_server_thread(svc, request_timeout_s=0.2)
+    try:
+        with Client.connect(handle.address) as client:
+            t0 = time.perf_counter()
+            with pytest.raises(ServerError) as excinfo:
+                client.ask([1.0])
+            assert excinfo.value.code == "timeout"
+            assert time.perf_counter() - t0 < 1.5  # did not wait out the sketch
+    finally:
+        handle.stop()
+        svc.close()
+
+
+def test_sketch_exception_reports_internal_error():
+    class Boom:
+        def predict(self, Q):
+            raise RuntimeError("kaboom")
+
+    svc = SketchService(cache=False, max_delay_s=1e-3)
+    svc.register("boom", Boom())
+    handle = start_server_thread(svc)
+    try:
+        with Client.connect(handle.address) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.ask([1.0])
+            assert excinfo.value.code == "internal"
+            assert "kaboom" in str(excinfo.value)
+            assert client._rfile is not None  # connection object still open
+    finally:
+        handle.stop()
+        svc.close()
+
+
+# ------------------------------------------------------------- shutdown drain
+
+
+def test_stop_with_drain_answers_everything_in_flight():
+    """No dropped futures: requests accepted before stop() all resolve."""
+    sketch = SlowSketch(delay_s=0.25)
+    svc = SketchService(cache=False, max_delay_s=1e-3, workers=2)
+    svc.register("slow", sketch)
+    handle = start_server_thread(svc)
+    client = Client.connect(handle.address)
+    try:
+        n = 4
+        frames = []
+        from repro.serve import protocol
+        from repro.serve.protocol import QueryRequest
+
+        for i in range(n):
+            frames.append(protocol.encode(QueryRequest(q=(float(i), 1.0), id=i)))
+        client._require_open().sendall(("\n".join(frames) + "\n").encode())
+        time.sleep(0.1)  # server has decoded and submitted; flush in progress
+        handle.stop(drain=True)  # blocks until in-flight work is answered
+        by_id = {}
+        for _ in range(n):
+            response = client._read_response()
+            by_id[response.id] = response.answer
+        assert by_id == {i: float(i) + 1.0 for i in range(n)}
+    finally:
+        client.close()
+        svc.close()
+
+
+def test_requests_after_drain_get_shutting_down(sum_server):
+    svc, handle = sum_server
+    with Client.connect(handle.address) as client:
+        assert client.ask([1.0, 1.0]) == 2.0
+        # Flip the drain flag directly (stop() would close the socket).
+        handle.server._draining = True
+        with pytest.raises(ServerError) as excinfo:
+            client.ask([2.0, 2.0])
+        assert excinfo.value.code == "shutting-down"
+
+
+def test_stop_is_idempotent_and_frees_the_port():
+    svc = SketchService(cache=False)
+    svc.register("sum", SumSketch())
+    handle = start_server_thread(svc)
+    host, port = handle.address
+    handle.stop()
+    handle.stop()  # second stop is a no-op
+    svc.close()
+    # The port is actually released.
+    probe = socket.socket()
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind((host, port))
+    finally:
+        probe.close()
+
+
+def test_stats_include_engine_replica_pool(golden_compiled):
+    svc = SketchService(cache=False, workers=4)
+    svc.register("golden", golden_compiled.with_dtype("float32"))
+    handle = start_server_thread(svc)
+    try:
+        with Client.connect(handle.address) as client:
+            client.ask_many(np.full((8, golden_compiled.input_dim), 0.5), sketch="golden")
+            stats = client.stats("golden")
+        assert stats["engine"]["max_replicas"] >= 4  # register() raised it
+        assert 1 <= stats["engine"]["replicas"] <= stats["engine"]["max_replicas"]
+        assert stats["engine"]["dtype"] == "float32"
+    finally:
+        handle.stop()
+        svc.close()
+
+
+# ------------------------------------------------------------------ CLI query
+
+
+def test_cli_query_connect_round_trip(sum_server, capsys):
+    from repro.cli import main
+
+    _, handle = sum_server
+    address = "{}:{}".format(*handle.address)
+    rc = main(["query", "--connect", address, "--name", "sum", "0.25", "0.5"])
+    assert rc == 0
+    assert float(capsys.readouterr().out.strip()) == 0.75
+
+
+def test_cli_query_requires_exactly_one_source(capsys):
+    from repro.cli import main
+
+    assert main(["query", "0.5"]) == 2
+    assert "exactly one" in capsys.readouterr().err
+    assert main(["query", "--sketch", "x", "--connect", "y:1", "0.5"]) == 2
+    assert "exactly one" in capsys.readouterr().err
+
+
+def test_cli_query_connect_refused_is_clean(capsys):
+    from repro.cli import main
+
+    # A port nothing listens on: operator error, not a traceback.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    _, port = probe.getsockname()
+    probe.close()
+    rc = main(["query", "--connect", f"127.0.0.1:{port}", "0.5"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "error" in err and "Traceback" not in err
