@@ -118,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--stdio", action="store_true",
                        help="answer frames on stdin/stdout (the default when "
                             "--listen is absent)")
+    serve.add_argument("--processes", type=int, default=1, metavar="N",
+                       help="with --listen: shard the service across N worker "
+                            "processes behind a router (default 1 = the "
+                            "in-process asyncio server)")
     serve.add_argument("--workers", type=int, default=4,
                        help="micro-batch flush workers; each concurrent flush "
                             "uses its own engine replica")
@@ -248,68 +252,70 @@ def _parse_query_vector(values: list[str]) -> np.ndarray:
     return q
 
 
-def _answer_frame(service, raw_line, max_line_bytes: int, timeout_s: float):
-    """One protocol frame -> one protocol response (never raises).
-
-    The stdio transport's request handler; the socket transport has its
-    asyncio twin in :meth:`repro.serve.server.SketchServer._serve_frame`.
-    Both speak only :mod:`repro.serve.protocol` dataclasses.
-    """
-    from repro.serve import protocol
-
-    rid = None
-    try:
-        protocol.check_line_size(raw_line, max_line_bytes)
-        request = protocol.decode_request(raw_line)
-        rid = request.id
-        if isinstance(request, protocol.StatsRequest):
-            return protocol.StatsResponse(stats=service.stats(request.sketch), id=rid)
-        if isinstance(request, protocol.BatchQueryRequest):
-            answers = service.ask_many(np.asarray(request.q, dtype=np.float64), request.sketch)
-            return protocol.BatchQueryResponse(
-                answers=tuple(float(a) for a in answers), id=rid, sketch=request.sketch
-            )
-        fut = service.submit(np.asarray(request.q, dtype=np.float64), request.sketch)
-        answer = fut.result(timeout=timeout_s)
-        return protocol.QueryResponse(
-            answer=float(answer),
-            cached=bool(getattr(fut, "cached", False)),
-            id=rid,
-            sketch=request.sketch,
-        )
-    except protocol.ProtocolError as exc:
-        return exc.to_response(rid)
-    except KeyError as exc:
-        message = exc.args[0] if exc.args else str(exc)
-        return protocol.ErrorResponse(error=str(message), code="unknown-sketch", id=rid)
-    except TimeoutError:
-        return protocol.ErrorResponse(
-            error=f"request missed the {timeout_s}s deadline", code="timeout", id=rid
-        )
-    except Exception as exc:  # a bad frame must not kill the loop
-        return protocol.ErrorResponse(
-            error=f"{type(exc).__name__}: {exc}", code="internal", id=rid
-        )
-
-
 def _stdio_loop(service, max_line_bytes: int, timeout_s: float) -> None:
+    # One frame -> one response; answer_frame never raises and encode_safe
+    # never emits bare NaN JSON. The socket transport has its asyncio twin
+    # in :meth:`repro.serve.server.SketchServer._serve_frame`.
     from repro.serve import protocol
+    from repro.serve.worker import answer_frame
 
     for raw in sys.stdin:
         if not raw.strip():
             continue
-        response = _answer_frame(service, raw.strip(), max_line_bytes, timeout_s)
-        try:
-            line_out = protocol.encode(response)
-        except ValueError:  # non-finite answer; never emit bare NaN JSON
-            line_out = protocol.encode(
-                protocol.ErrorResponse(
-                    error="answer is not finite",
-                    code="internal",
-                    id=getattr(response, "id", None),
-                )
-            )
-        print(line_out, flush=True)
+        response = answer_frame(service, raw.strip(), max_line_bytes, timeout_s)
+        print(protocol.encode_safe(response), flush=True)
+
+
+def _serve_sharded(args: argparse.Namespace, max_line_bytes: int) -> int:
+    """``repro serve --listen ... --processes N``: the multi-process router."""
+    import threading
+
+    from repro.serve import prepare_worker_artifact, start_router_thread
+    from repro.serve.client import parse_address
+
+    worker_args = [
+        "--workers", str(args.workers),
+        "--max-batch", str(args.max_batch),
+        "--max-delay-ms", str(args.max_delay_ms),
+        "--request-timeout-s", str(args.request_timeout_s),
+        "--cache-resolution", str(args.cache_resolution),
+        "--infer-dtype", args.infer_dtype,
+    ]
+    if args.no_cache:
+        worker_args.append("--no-cache")
+    if args.cache_exact:
+        worker_args.append("--cache-exact")
+    artifact = None
+    try:
+        host, port = parse_address(args.listen)
+        # Spill once to the binary boot format so N workers don't each
+        # re-parse the gzip-JSON artifact (also validates it up front).
+        artifact = prepare_worker_artifact(args.sketch)
+        handle = start_router_thread(
+            artifact,
+            processes=args.processes,
+            host=host,
+            port=port,
+            max_line_bytes=max_line_bytes,
+            worker_args=tuple(worker_args),
+        )
+    except (OSError, ValueError, EOFError, RuntimeError) as exc:
+        if artifact is not None and artifact != args.sketch:
+            os.unlink(artifact)
+        return _operator_error(exc)
+    bound = "{}:{}".format(*handle.address)
+    print(f"[repro serve] loaded {args.sketch}; routing {bound} across "
+          f"{args.processes} worker processes", file=sys.stderr)
+    try:
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        print("[repro serve] draining...", file=sys.stderr)
+    finally:
+        handle.stop()
+        if artifact != args.sketch:
+            os.unlink(artifact)
+    print("[repro serve] stopped", file=sys.stderr)
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -320,9 +326,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.listen and args.stdio:
         return _operator_error(ValueError("--listen and --stdio are mutually exclusive"))
+    if args.processes < 1:
+        return _operator_error(ValueError("--processes must be >= 1"))
+    if args.processes > 1 and not args.listen:
+        return _operator_error(ValueError("--processes needs --listen (stdio is single-process)"))
     max_line_bytes = (
         protocol.MAX_LINE_BYTES if args.max_line_bytes is None else args.max_line_bytes
     )
+    if args.processes > 1:
+        return _serve_sharded(args, max_line_bytes)
     try:
         sketch = load_sketch(args.sketch, dtype=args.infer_dtype)
     # EOFError: a truncated gzip stream ends without the stream marker.

@@ -926,7 +926,17 @@ class CompiledSketch:
                     return self._idle.pop()
                 if self._n_contexts < self.max_replicas:
                     self._n_contexts += 1
-                    return _EngineContext([g.replicate() for g in self.groups])
+                    try:
+                        return _EngineContext([g.replicate() for g in self.groups])
+                    except BaseException:
+                        # The slot was claimed but never materialized (e.g.
+                        # an allocation failure in replicate); without the
+                        # rollback the pool capacity shrinks permanently and
+                        # waiters can deadlock on contexts that will never
+                        # check back in.
+                        self._n_contexts -= 1
+                        self._pool.notify()
+                        raise
                 self._pool.wait()
 
     def _checkin(self, ctx: _EngineContext) -> None:
@@ -1078,6 +1088,90 @@ class CompiledSketch:
     def load(cls, path: str, dtype: str | None = None) -> "CompiledSketch":
         with gzip.open(path, "rt", encoding="utf-8") as fh:
             return cls.from_dict(json.load(fh), dtype=dtype)
+
+    def save_npz(self, path: str) -> None:
+        """Spill to an uncompressed binary ``.npz`` for fast process spawn.
+
+        The gzip-JSON artifact is the durable interchange format; this one
+        exists so a sharding router can hand freshly spawned worker
+        processes something they load in milliseconds — binary float64
+        arrays round-trip bit-exactly and skip JSON number parsing
+        entirely. Same canonical (unfused) weights as :meth:`to_dict`, so
+        :meth:`load_npz` rebuilds a bit-identical engine on any tier.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "tree_split_dim": self.tree.split_dim,
+            "tree_split_val": self.tree.split_val,
+            "tree_left": self.tree.left,
+            "tree_right": self.tree.right,
+            "tree_leaf_id": self.tree.leaf_id,
+            "leaf_group": self.leaf_group,
+            "leaf_slot": self.leaf_slot,
+        }
+        for gi, g in enumerate(self.groups):
+            arrays[f"g{gi}_layer_sizes"] = np.asarray(g.layer_sizes, dtype=np.int64)
+            arrays[f"g{gi}_leaf_ids"] = np.asarray(g.leaf_ids, dtype=np.int64)
+            arrays[f"g{gi}_x_mean"] = g.x_mean
+            arrays[f"g{gi}_x_scale"] = g.x_scale
+            arrays[f"g{gi}_y_mean"] = g.y_mean
+            arrays[f"g{gi}_y_scale"] = g.y_scale
+            for li, (w, bias) in enumerate(zip(g.W, g.b)):
+                arrays[f"g{gi}_W{li}"] = w
+                arrays[f"g{gi}_b{li}"] = bias
+        meta = {
+            "format": "compiled-sketch-npz-v1",
+            "dtype": self.dtype_name,
+            "input_dim": self.input_dim,
+            "n_groups": len(self.groups),
+        }
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        with open(path, "wb") as fh:
+            np.savez(fh, **arrays)
+
+    @classmethod
+    def load_npz(cls, path: str, dtype: str | None = None) -> "CompiledSketch":
+        """Rebuild from a :meth:`save_npz` spill (the worker boot path)."""
+        with np.load(path) as payload:
+            if "meta" not in payload.files:
+                raise ValueError(f"not a compiled-sketch npz payload: {path}")
+            meta = json.loads(bytes(payload["meta"]).decode("utf-8"))
+            if meta.get("format") != "compiled-sketch-npz-v1":
+                raise ValueError(
+                    f"not a compiled-sketch npz payload: format {meta.get('format')!r}"
+                )
+            tier = dtype if dtype is not None else meta["dtype"]
+            resolve_dtype(tier)
+            tree = FlatTree(
+                payload["tree_split_dim"],
+                payload["tree_split_val"],
+                payload["tree_left"],
+                payload["tree_right"],
+                payload["tree_leaf_id"],
+            )
+            groups = []
+            for gi in range(int(meta["n_groups"])):
+                layer_sizes = payload[f"g{gi}_layer_sizes"].tolist()
+                n_layers = len(layer_sizes) - 1
+                groups.append(
+                    _LeafGroup(
+                        layer_sizes,
+                        payload[f"g{gi}_leaf_ids"].tolist(),
+                        [payload[f"g{gi}_W{li}"] for li in range(n_layers)],
+                        [payload[f"g{gi}_b{li}"] for li in range(n_layers)],
+                        payload[f"g{gi}_x_mean"],
+                        payload[f"g{gi}_x_scale"],
+                        payload[f"g{gi}_y_mean"],
+                        payload[f"g{gi}_y_scale"],
+                        dtype=tier,
+                    )
+                )
+            return cls(
+                tree,
+                groups,
+                payload["leaf_group"],
+                payload["leaf_slot"],
+                int(meta["input_dim"]),
+            )
 
     def __repr__(self) -> str:
         return (

@@ -126,7 +126,7 @@ def _fmt_concurrent_line(est) -> str | None:
         return None
     parity = conc.get("parity_max_abs_diff", {})
     exact = all(v == 0.0 for v in parity.values()) if parity else False
-    return (
+    line = (
         f"serving: {conc['n_clients']} clients over the socket -> "
         f"{conc['sustained_qps']:,.0f} q/s sustained, "
         f"p50 {_fmt_seconds(conc['p50_latency_s'])} / "
@@ -134,6 +134,21 @@ def _fmt_concurrent_line(est) -> str | None:
         f"{conc.get('replicas', '?')} engine replicas, "
         f"parity {'exact' if exact else 'DRIFTED'} per tier"
     )
+    scaling = conc.get("scaling") or []
+    if scaling:
+        curve = ", ".join(
+            f"{point['processes']}p {point['sustained_qps']:,.0f}" for point in scaling
+        )
+        shard_exact = all(
+            v == 0.0
+            for point in scaling
+            for v in point.get("parity_max_abs_diff", {}).values()
+        )
+        line += (
+            f"; sharded {curve} q/s by router process count "
+            f"(parity {'exact' if shard_exact else 'DRIFTED'})"
+        )
+    return line
 
 
 def format_comparison_table(benches: dict[str, dict]) -> str:

@@ -78,6 +78,9 @@ class ExperimentConfig:
     # socket server (the `service.concurrent` BENCH block). The issue's
     # acceptance bar is >= 8.
     service_clients: int = 8
+    # Multi-process scaling bench: worker process counts for the sharding
+    # router curve (`service.concurrent.scaling`). Empty disables it.
+    service_processes: tuple[int, ...] = (1, 2, 4)
     # Timing harness.
     n_timing_queries: int = 200
     timing_warmup: int = 20
@@ -124,6 +127,9 @@ class ExperimentConfig:
             raise ValueError("timing knobs must be positive (warmup may be 0)")
         if self.service_clients < 1:
             raise ValueError("service_clients must be >= 1")
+        object.__setattr__(self, "service_processes", tuple(self.service_processes))
+        if any(int(p) < 1 for p in self.service_processes):
+            raise ValueError("service_processes entries must be >= 1")
 
     def fast_profile(self) -> "ExperimentConfig":
         """A copy clamped for CI smoke runs (< 1 minute end-to-end)."""
@@ -148,11 +154,15 @@ class ExperimentConfig:
             n_timing_queries=min(self.n_timing_queries, 50),
             timing_warmup=min(self.timing_warmup, 5),
             timing_repeats=min(self.timing_repeats, 2),
+            # Keep the scaling curve but cap the fleet: booting 4 worker
+            # processes is full-run territory.
+            service_processes=tuple(p for p in self.service_processes if p <= 2),
         )
 
     def to_dict(self) -> dict:
         out = asdict(self)
         out["estimators"] = list(self.estimators)
+        out["service_processes"] = list(self.service_processes)
         return out
 
 
@@ -292,11 +302,18 @@ def _time_service_concurrent(estimator, Q_test, config) -> dict:
       workers fan out over the replica pool. Reported as sustained q/s.
     - *closed loop* — one outstanding request per client, per-request
       wall times pooled into p50/p99 latency.
+    - *scaling* — the same clients pipeline through a
+      :class:`~repro.serve.router.SketchRouter` at each worker process
+      count in ``config.service_processes``, recording sustained q/s and
+      per-tier wire parity per point. This puts the single-process
+      ceiling (the phases above) next to the multi-process trajectory.
     """
+    import os
+    import tempfile
     import threading
     import time
 
-    from repro.serve import Client, SketchService, start_server_thread
+    from repro.serve import Client, SketchService, start_router_thread, start_server_thread
     from repro.serve.protocol import PROTOCOL_VERSION
 
     n_clients = int(config.service_clients)
@@ -404,6 +421,65 @@ def _time_service_concurrent(estimator, Q_test, config) -> dict:
             out["workers"] = svc.workers
         finally:
             handle.stop()
+
+    # --- scaling: the sharding router at each worker process count ---
+    if config.service_processes and callable(getattr(served, "save_npz", None)):
+        fd, artifact = tempfile.mkstemp(suffix=".npz", prefix="repro-bench-")
+        os.close(fd)
+        scaling: list[dict] = []
+        try:
+            served.save_npz(artifact)
+            for n_proc in config.service_processes:
+                worker_args = (
+                    # Cache off pins wire parity; --register-tiers exposes the
+                    # float32/float64 entries the parity pass asks by name.
+                    "--no-cache",
+                    "--register-tiers",
+                    # Partition the flush-thread budget across shards instead
+                    # of multiplying it: N processes x full thread count just
+                    # thrashes the scheduler once cores are saturated.
+                    "--workers", str(max(1, min(n_clients, 8) // int(n_proc))),
+                    "--max-delay-ms", "0.5",
+                )
+                handle = start_router_thread(
+                    artifact, processes=int(n_proc), worker_args=worker_args
+                )
+                try:
+                    diffs = {tier: np.zeros(n_clients) for tier in tiers}
+
+                    def shard_parity_worker(i: int, barrier) -> None:
+                        with Client.connect(handle.address) as client:
+                            barrier.wait(timeout=60.0)
+                            for tier in tiers:
+                                answers = client.ask_many(Q_test, sketch=tier)
+                                diffs[tier][i] = float(
+                                    np.max(np.abs(answers - expected[tier]))
+                                )
+
+                    fanout(shard_parity_worker)
+
+                    def shard_sustained_worker(i: int, barrier) -> None:
+                        with Client.connect(handle.address) as client:
+                            barrier.wait(timeout=60.0)
+                            client.ask_many(
+                                Q_pipeline, sketch=config.infer_dtype, pipeline=True
+                            )
+
+                    elapsed = fanout(shard_sustained_worker)
+                    scaling.append(
+                        {
+                            "processes": int(n_proc),
+                            "sustained_qps": n_clients * n_pipeline / elapsed,
+                            "parity_max_abs_diff": {
+                                tier: float(np.max(diffs[tier])) for tier in tiers
+                            },
+                        }
+                    )
+                finally:
+                    handle.stop()
+        finally:
+            os.unlink(artifact)
+        out["scaling"] = scaling
     return out
 
 

@@ -8,13 +8,22 @@ triggers), caches answers keyed on quantized query vectors, and exposes
 both async (``submit -> Future``) and blocking (``ask``/``ask_many``)
 submission. :class:`SketchServer` puts that service on a TCP socket behind
 the versioned JSON-lines protocol (:mod:`repro.serve.protocol`), with
-:class:`Client` as the matching blocking client. ``repro serve`` /
-``repro query`` are the CLI front-ends.
+:class:`Client` as the matching blocking client. When one process's GIL
+becomes the ceiling, :class:`SketchRouter` shards the same wire protocol
+across worker processes (:mod:`repro.serve.router` /
+:mod:`repro.serve.worker`). ``repro serve`` / ``repro query`` are the
+CLI front-ends.
 """
 
 from repro.serve.batching import MicroBatcher
 from repro.serve.cache import AnswerCache
 from repro.serve.client import Client, ServerError
+from repro.serve.router import (
+    RouterHandle,
+    SketchRouter,
+    prepare_worker_artifact,
+    start_router_thread,
+)
 from repro.serve.server import ServerHandle, SketchServer, start_server_thread
 from repro.serve.service import SketchService, load_sketch
 
@@ -22,10 +31,14 @@ __all__ = [
     "AnswerCache",
     "Client",
     "MicroBatcher",
+    "RouterHandle",
     "ServerError",
     "ServerHandle",
+    "SketchRouter",
     "SketchServer",
     "SketchService",
     "load_sketch",
+    "prepare_worker_artifact",
+    "start_router_thread",
     "start_server_thread",
 ]

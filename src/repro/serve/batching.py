@@ -80,9 +80,13 @@ class MicroBatcher:
         self._pending_rows = 0
         self._closed = False
         # Flush accounting (read via stats(); guarded by _cond's lock).
+        # Every ``predict`` attempt counts — including ones that raise — so
+        # the flush/row counters track offered load, with ``n_errors``
+        # recording how many of those attempts failed.
         self.n_flushes = 0
         self.n_rows_flushed = 0
         self.max_flush_rows = 0
+        self.n_errors = 0
 
         # Workers only serve async submit(); blocking callers flush via
         # run()/drain() themselves, so the threads start lazily on the first
@@ -147,11 +151,12 @@ class MicroBatcher:
                 raise RuntimeError("MicroBatcher is closed")
             batch = self._take_pending_locked()
         if not batch:
-            answers = np.asarray(self._predict(Q_block), dtype=np.float64).ravel()
-            with self._cond:
-                self.n_flushes += 1
-                self.n_rows_flushed += Q_block.shape[0]
-                self.max_flush_rows = max(self.max_flush_rows, Q_block.shape[0])
+            try:
+                answers = np.asarray(self._predict(Q_block), dtype=np.float64).ravel()
+            except Exception:
+                self._count_flush(Q_block.shape[0], failed=True)
+                raise
+            self._count_flush(Q_block.shape[0])
             return answers
         own: Future = Future()
         batch.append((Q_block, own, False))
@@ -159,6 +164,14 @@ class MicroBatcher:
         return own.result()
 
     # ---------------------------------------------------------------- worker
+
+    def _count_flush(self, n_rows: int, failed: bool = False) -> None:
+        with self._cond:
+            self.n_flushes += 1
+            self.n_rows_flushed += n_rows
+            self.max_flush_rows = max(self.max_flush_rows, n_rows)
+            if failed:
+                self.n_errors += 1
 
     def _take_pending_locked(self) -> list[tuple[np.ndarray, Future, bool]]:
         batch = self._pending
@@ -199,14 +212,12 @@ class MicroBatcher:
         try:
             answers = np.asarray(self._predict(Q), dtype=np.float64).ravel()
         except Exception as exc:  # propagate to every waiting Future
+            self._count_flush(Q.shape[0], failed=True)
             for ok, (_, fut, _) in zip(live, batch):
                 if ok:
                     fut.set_exception(exc)
             return Q.shape[0]
-        with self._cond:
-            self.n_flushes += 1
-            self.n_rows_flushed += Q.shape[0]
-            self.max_flush_rows = max(self.max_flush_rows, Q.shape[0])
+        self._count_flush(Q.shape[0])
         start = 0
         for ok, (block, fut, scalar) in zip(live, batch):
             part = answers[start : start + block.shape[0]]
@@ -237,6 +248,7 @@ class MicroBatcher:
                 "n_flushes": self.n_flushes,
                 "n_rows_flushed": self.n_rows_flushed,
                 "max_flush_rows": self.max_flush_rows,
+                "n_errors": self.n_errors,
                 "pending_rows": self._pending_rows,
                 "max_batch_size": self.max_batch_size,
                 "max_delay_s": self.max_delay_s,

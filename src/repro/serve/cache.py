@@ -17,6 +17,13 @@ import numpy as np
 
 _MISS = object()
 
+#: Quantized components must stay well inside int64 after rounding:
+#: ``astype(np.int64)`` on values beyond the representable range (or on
+#: non-finite values) wraps silently, so two distinct queries could share
+#: a key and serve each other's answers. Components past this bound (or
+#: non-finite ones) fall back to exact-bytes keys instead.
+_QUANT_LIMIT = float(2**62)
+
 
 class AnswerCache:
     """LRU cache from (quantized) query vectors to answers.
@@ -64,8 +71,16 @@ class AnswerCache:
         """
         q = np.asarray(q, dtype=np.float64).ravel()
         if self.exact:
-            return namespace + q.tobytes()
-        return namespace + np.round(q / self.resolution).astype(np.int64).tobytes()
+            return namespace + b"x" + q.tobytes()
+        # Scaling may overflow to inf for extreme coordinates — that is
+        # exactly the case the fallback below catches, not an error.
+        with np.errstate(over="ignore", invalid="ignore"):
+            scaled = np.round(q / self.resolution)
+        # The mode byte keeps the two key spaces disjoint: an exact-bytes
+        # fallback key can never alias a quantized key of the same length.
+        if np.all(np.isfinite(scaled)) and np.all(np.abs(scaled) < _QUANT_LIMIT):
+            return namespace + b"q" + scaled.astype(np.int64).tobytes()
+        return namespace + b"x" + q.tobytes()
 
     def get(self, q: np.ndarray, namespace: bytes = b"") -> float | None:
         """Cached answer, or ``None`` on a miss (counts either way)."""

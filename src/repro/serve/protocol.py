@@ -227,6 +227,25 @@ def encode(message: Request | Response) -> str:
     return json.dumps(message.to_wire(), allow_nan=False, separators=(",", ":"))
 
 
+def encode_safe(response: "Response") -> str:
+    """Encode a response, downgrading non-finite answers to an error frame.
+
+    Every serving loop (socket server, stdio loop, sharding worker) must
+    never put RFC-invalid bare ``NaN`` on the wire; this is the one shared
+    fallback they all use.
+    """
+    try:
+        return encode(response)
+    except ValueError:
+        return encode(
+            ErrorResponse(
+                error="answer is not finite",
+                code="internal",
+                id=getattr(response, "id", None),
+            )
+        )
+
+
 def check_line_size(line: str | bytes, max_bytes: int = MAX_LINE_BYTES) -> None:
     """Reject an oversized frame before parsing it."""
     n = len(line) if isinstance(line, (bytes, bytearray)) else len(line.encode("utf-8"))

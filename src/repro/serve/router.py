@@ -1,0 +1,659 @@
+"""Process-sharded serving: a router in front of N worker processes.
+
+The single-process :class:`~repro.serve.server.SketchServer` tops out
+where Python does: protocol encode/decode and the asyncio loop share one
+GIL with everything else. This module splits the work across processes.
+A :class:`SketchRouter` accepts client connections speaking the exact v1
+JSON-lines protocol and forwards each frame — as raw bytes, untouched —
+to one of N worker processes (:mod:`repro.serve.worker`), each running
+its own :class:`~repro.serve.service.SketchService` and engine replica
+pool. The router never parses JSON on the hot path: it prefixes the
+frame with an opaque decimal routing id (``rid\\tframe\\n``), the worker
+answers ``rid\\tresponse\\n``, and the router maps the rid back to the
+originating connection. Client request ``id``s pass through the worker
+verbatim, so the wire contract is byte-compatible with the
+single-process server.
+
+Semantics:
+
+- **Per-connection ordering** — responses are delivered to each
+  connection in request order (a small reorder buffer holds responses
+  that finish early). This is *stronger* than the single-process server,
+  which answers pipelined frames as they complete; the router's ordering
+  makes id-less legacy clients safe across shards. The cost is
+  head-of-line delivery (not execution): a slow batch delays delivery of
+  the faster frames queued behind it on the *same* connection only.
+- **Worker crash** — a dead worker's unanswered frames are re-dispatched
+  to surviving workers (queries are pure reads, so at-least-once is
+  safe), and a replacement process is spawned after ``restart_delay_s``.
+  The router keeps serving throughout; if *no* worker is alive, frames
+  queue until one boots.
+- **Oversized / draining** — handled at the router with the same
+  structured error frames as the single-process server, delivered in
+  order like any other response.
+
+Workers are spawned via ``sys.executable -m repro.serve.worker`` with an
+artifact path; :func:`prepare_worker_artifact` spills a loaded sketch to
+the binary ``.npz`` form first so each worker boots in milliseconds
+instead of re-parsing gzip JSON (POSIX pipes; the router is Unix-only).
+
+:func:`start_router_thread` mirrors
+:func:`~repro.serve.server.start_server_thread` for embedding: the CLI
+(``repro serve --listen ... --processes N``), the eval runner's scaling
+bench and the tests all use it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+
+from repro.serve import protocol
+from repro.serve.protocol import ErrorResponse
+
+#: Write-buffer bound per client connection; a consumer that falls this
+#: far behind is aborted instead of buffering the router into the ground.
+CONN_HIGH_WATER = 1 << 22
+
+
+def prepare_worker_artifact(sketch_path: str, dir: str | None = None) -> str:
+    """Spill a sketch artifact to the fast worker boot format.
+
+    Loads ``sketch_path`` once (either artifact format) and writes a
+    binary ``.npz`` next to the temp dir; returns the path workers load.
+    A path that already ends in ``.npz`` is returned unchanged. The
+    caller owns the returned file's lifetime.
+    """
+    if sketch_path.endswith(".npz"):
+        return sketch_path
+    from repro.serve.service import load_sketch
+
+    sketch = load_sketch(sketch_path)
+    if not callable(getattr(sketch, "save_npz", None)):
+        return sketch_path  # foreign estimator: let workers load it their way
+    fd, path = tempfile.mkstemp(suffix=".npz", dir=dir, prefix="repro-shard-")
+    os.close(fd)
+    sketch.save_npz(path)
+    return path
+
+
+class _Conn:
+    """One client connection: writer plus the ordered-delivery window."""
+
+    __slots__ = ("writer", "next_seq", "next_deliver", "buffer", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.next_seq = 0
+        self.next_deliver = 0
+        self.buffer: dict[int, bytes] = {}
+        self.closed = False
+
+    def take_seq(self) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+
+class _Worker:
+    """One shard process: pipes, pending routing table, lifecycle bits."""
+
+    __slots__ = (
+        "slot",
+        "proc",
+        "stdin",
+        "stdout",
+        "alive",
+        "pending",
+        "n_restarts",
+        "n_forwarded",
+        "reader_task",
+    )
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.proc: subprocess.Popen | None = None
+        self.stdin: asyncio.StreamWriter | None = None
+        self.stdout: asyncio.StreamReader | None = None
+        self.alive = False
+        #: rid -> (conn, seq, frame) for every frame awaiting this worker.
+        self.pending: dict[int, tuple[_Conn, int, bytes]] = {}
+        self.n_restarts = 0
+        self.n_forwarded = 0
+        self.reader_task: asyncio.Task | None = None
+
+
+class SketchRouter:
+    """Shard protocol frames across worker processes (see module doc).
+
+    Parameters
+    ----------
+    sketch_path:
+        Artifact every worker loads (``.npz`` spills boot fastest — see
+        :func:`prepare_worker_artifact`).
+    processes:
+        Worker process count.
+    worker_args:
+        Extra ``repro.serve.worker`` CLI flags, e.g. ``("--no-cache",
+        "--infer-dtype", "float32")``.
+    host, port, max_line_bytes:
+        As on :class:`~repro.serve.server.SketchServer`.
+    restart_delay_s:
+        Pause before respawning a crashed worker.
+    """
+
+    def __init__(
+        self,
+        sketch_path: str,
+        processes: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_line_bytes: int = protocol.MAX_LINE_BYTES,
+        worker_args: tuple[str, ...] = (),
+        restart_delay_s: float = 0.5,
+        worker_boot_timeout_s: float = 60.0,
+        drain_timeout_s: float = 30.0,
+    ) -> None:
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        if max_line_bytes < 64:
+            raise ValueError("max_line_bytes must be >= 64")
+        self.sketch_path = str(sketch_path)
+        self.processes = int(processes)
+        self.host = host
+        self.port = int(port)
+        self.max_line_bytes = int(max_line_bytes)
+        self.worker_args = tuple(worker_args)
+        self.restart_delay_s = float(restart_delay_s)
+        self.worker_boot_timeout_s = float(worker_boot_timeout_s)
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._workers = [_Worker(slot) for slot in range(self.processes)]
+        self._rr = 0
+        self._rid = 0
+        self._orphans: list[tuple[_Conn, int, bytes]] = []
+        self._conns: set[_Conn] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._restart_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._stopped = False
+        # Counters (loop thread only).
+        self.n_connections = 0
+        self.n_requests = 0
+        self.n_local_errors = 0
+        self.n_redispatched = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _worker_cmd(self) -> list[str]:
+        return [
+            sys.executable,
+            "-m",
+            "repro.serve.worker",
+            "--sketch",
+            self.sketch_path,
+            "--max-line-bytes",
+            str(self.max_line_bytes),
+            *self.worker_args,
+        ]
+
+    async def start(self) -> None:
+        """Boot every worker, then bind and accept (call once, on the loop)."""
+        if self._server is not None:
+            raise RuntimeError("router already started")
+        try:
+            await asyncio.gather(*(self._spawn(w) for w in self._workers))
+        except BaseException:
+            await self._shutdown_workers()
+            raise
+        self._server = await asyncio.start_server(
+            self._handle_conn,
+            self.host,
+            self.port,
+            limit=self.max_line_bytes + 1024,
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+
+    async def _spawn(self, w: _Worker) -> None:
+        loop = asyncio.get_running_loop()
+        proc = subprocess.Popen(
+            self._worker_cmd(),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # worker diagnostics land on the router's stderr
+        )
+        read_transport = None
+        writer = None
+        try:
+            reader = asyncio.StreamReader(limit=self.max_line_bytes + 8192, loop=loop)
+            read_transport, _ = await loop.connect_read_pipe(
+                lambda: asyncio.StreamReaderProtocol(reader, loop=loop), proc.stdout
+            )
+            w_transport, w_proto = await loop.connect_write_pipe(
+                lambda: asyncio.streams.FlowControlMixin(loop=loop), proc.stdin
+            )
+            writer = asyncio.StreamWriter(w_transport, w_proto, None, loop)
+            banner = await asyncio.wait_for(
+                reader.readline(), timeout=self.worker_boot_timeout_s
+            )
+            if banner.strip() != b"READY":
+                raise RuntimeError(
+                    f"worker {w.slot} failed to boot "
+                    f"(first line {banner!r}; see stderr above)"
+                )
+        except BaseException:
+            if writer is not None:
+                writer.close()
+            if read_transport is not None:
+                read_transport.close()
+            proc.kill()
+            proc.wait()
+            raise
+        w.proc = proc
+        w.stdin = writer
+        w.stdout = reader
+        w.alive = True
+        w.reader_task = asyncio.ensure_future(self._read_worker(w))
+        self._flush_orphans(w)
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting, settle in-flight frames, shut every worker down."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            deadline = asyncio.get_running_loop().time() + self.drain_timeout_s
+            while (
+                any(w.pending for w in self._workers) or self._orphans
+            ) and asyncio.get_running_loop().time() < deadline:
+                await asyncio.sleep(0.01)
+        for task in list(self._restart_tasks):
+            task.cancel()
+        await self._shutdown_workers()
+        self._fail_pending(
+            "router is shutting down", include_orphans=True, workers=self._workers
+        )
+        for conn in list(self._conns):
+            conn.closed = True
+            conn.buffer.clear()
+            conn.writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+
+    async def _shutdown_workers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for w in self._workers:
+            w.alive = False
+            if w.stdin is not None:
+                try:
+                    w.stdin.close()  # EOF: the worker drains and exits 0
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+        for w in self._workers:
+            if w.proc is None:
+                continue
+            try:
+                await loop.run_in_executor(None, w.proc.wait, 10.0)
+            except subprocess.TimeoutExpired:
+                w.proc.kill()
+                await loop.run_in_executor(None, w.proc.wait)
+            w.proc = None
+        for w in self._workers:
+            if w.reader_task is not None:
+                w.reader_task.cancel()
+                try:
+                    await w.reader_task
+                except (asyncio.CancelledError, Exception):
+                    pass
+                w.reader_task = None
+
+    def router_stats(self) -> dict:
+        return {
+            "processes": self.processes,
+            "connections": self.n_connections,
+            "open_connections": len(self._conns),
+            "requests": self.n_requests,
+            "local_errors": self.n_local_errors,
+            "redispatched": self.n_redispatched,
+            "orphaned": len(self._orphans),
+            "workers": [
+                {
+                    "slot": w.slot,
+                    "alive": w.alive,
+                    "pid": w.proc.pid if w.proc is not None else None,
+                    "pending": len(w.pending),
+                    "forwarded": w.n_forwarded,
+                    "restarts": w.n_restarts,
+                }
+                for w in self._workers
+            ],
+        }
+
+    # ------------------------------------------------------- client side
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        conn = _Conn(writer)
+        self._conns.add(conn)
+        self.n_connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as exc:
+                    line = exc.partial  # EOF; a final unterminated frame counts
+                    if not line.strip():
+                        break
+                except asyncio.LimitOverrunError:
+                    await _discard_to_newline(reader)
+                    self._local_error(
+                        conn,
+                        conn.take_seq(),
+                        f"request line exceeds the {self.max_line_bytes}-byte bound",
+                        code="oversized",
+                    )
+                    continue
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                stripped = line.rstrip(b"\r\n")
+                if not stripped.strip():
+                    if not line.endswith(b"\n"):
+                        break
+                    continue
+                self.n_requests += 1
+                seq = conn.take_seq()
+                if len(stripped) > self.max_line_bytes:
+                    self._local_error(
+                        conn,
+                        seq,
+                        f"request line of {len(stripped)} bytes exceeds the "
+                        f"{self.max_line_bytes}-byte bound",
+                        code="oversized",
+                    )
+                elif self._draining:
+                    self._local_error(
+                        conn, seq, "server is draining", code="shutting-down"
+                    )
+                else:
+                    await self._forward(conn, seq, stripped)
+                if not line.endswith(b"\n"):
+                    break  # that was the EOF frame
+        finally:
+            conn.closed = True
+            conn.buffer.clear()
+            self._conns.discard(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    def _pick_worker(self) -> _Worker | None:
+        for _ in range(self.processes):
+            w = self._workers[self._rr % self.processes]
+            self._rr += 1
+            if w.alive:
+                return w
+        return None
+
+    async def _forward(self, conn: _Conn, seq: int, frame: bytes) -> None:
+        w = self._pick_worker()
+        if w is None:
+            # Every worker is down (all restarting): park the frame; the
+            # next worker to boot picks it up.
+            self._orphans.append((conn, seq, frame))
+            return
+        self._dispatch(w, conn, seq, frame)
+        try:
+            await w.stdin.drain()  # per-connection backpressure toward shards
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # the reader task handles the death; frame is re-dispatched
+
+    def _dispatch(self, w: _Worker, conn: _Conn, seq: int, frame: bytes) -> None:
+        self._rid += 1
+        rid = self._rid
+        w.pending[rid] = (conn, seq, frame)
+        w.n_forwarded += 1
+        w.stdin.write(b"%d\t%s\n" % (rid, frame))
+
+    def _flush_orphans(self, w: _Worker) -> None:
+        orphans, self._orphans = self._orphans, []
+        for conn, seq, frame in orphans:
+            if conn.closed:
+                continue
+            self._dispatch(w, conn, seq, frame)
+
+    # ------------------------------------------------------- worker side
+
+    async def _read_worker(self, w: _Worker) -> None:
+        reader = w.stdout
+        while True:
+            try:
+                line = await reader.readuntil(b"\n")
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                break
+            except asyncio.LimitOverrunError:
+                # A response beyond every sane bound: this worker is
+                # misbehaving; treat it as dead.
+                break
+            rid_bytes, sep, payload = line.partition(b"\t")
+            if not sep:
+                continue  # not a tagged response (stray print); ignore
+            try:
+                rid = int(rid_bytes)
+            except ValueError:
+                continue
+            entry = w.pending.pop(rid, None)
+            if entry is not None:
+                conn, seq, _ = entry
+                self._deliver(conn, seq, payload if payload.endswith(b"\n") else payload + b"\n")
+        await self._on_worker_death(w)
+
+    async def _on_worker_death(self, w: _Worker) -> None:
+        w.alive = False
+        if w.stdin is not None:
+            try:
+                w.stdin.close()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            w.stdin = None
+        pending, w.pending = w.pending, {}
+        if self._stopped:
+            for rid, entry in pending.items():
+                self._orphans.append(entry)
+            return
+        if pending:
+            # Unanswered frames move to surviving shards: range-aggregate
+            # queries are pure reads, so at-least-once execution is safe.
+            for conn, seq, frame in pending.values():
+                if conn.closed:
+                    continue
+                self.n_redispatched += 1
+                alive = self._pick_worker()
+                if alive is None:
+                    self._orphans.append((conn, seq, frame))
+                else:
+                    self._dispatch(alive, conn, seq, frame)
+        if w.proc is not None:
+            loop = asyncio.get_running_loop()
+            try:
+                await loop.run_in_executor(None, w.proc.wait, 5.0)
+            except subprocess.TimeoutExpired:
+                w.proc.kill()
+                await loop.run_in_executor(None, w.proc.wait)
+            w.proc = None
+        task = asyncio.ensure_future(self._restart(w))
+        self._restart_tasks.add(task)
+        task.add_done_callback(self._restart_tasks.discard)
+
+    async def _restart(self, w: _Worker) -> None:
+        while not self._stopped:
+            await asyncio.sleep(self.restart_delay_s)
+            if self._stopped:
+                return
+            try:
+                await self._spawn(w)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                print(
+                    f"[router] worker {w.slot} restart failed: {exc}; retrying",
+                    file=sys.stderr,
+                )
+                continue
+            w.n_restarts += 1
+            return
+
+    # ----------------------------------------------------------- delivery
+
+    def _deliver(self, conn: _Conn, seq: int, payload: bytes) -> None:
+        """Queue one response line; flush whatever is now in order."""
+        if conn.closed:
+            return
+        conn.buffer[seq] = payload
+        writer = conn.writer
+        while conn.next_deliver in conn.buffer:
+            data = conn.buffer.pop(conn.next_deliver)
+            conn.next_deliver += 1
+            if not writer.is_closing():
+                writer.write(data)
+        if writer.transport.get_write_buffer_size() > CONN_HIGH_WATER:
+            # Slow consumer: abort rather than buffer without bound.
+            conn.closed = True
+            conn.buffer.clear()
+            writer.transport.abort()
+
+    def _local_error(self, conn: _Conn, seq: int, message: str, code: str) -> None:
+        self.n_local_errors += 1
+        line = protocol.encode(ErrorResponse(error=message, code=code))
+        self._deliver(conn, seq, line.encode("utf-8") + b"\n")
+
+    def _fail_pending(self, message: str, include_orphans: bool, workers) -> None:
+        entries: list[tuple[_Conn, int, bytes]] = []
+        for w in workers:
+            entries.extend(w.pending.values())
+            w.pending.clear()
+        if include_orphans:
+            entries.extend(self._orphans)
+            self._orphans = []
+        for conn, seq, _frame in entries:
+            if not conn.closed:
+                self._local_error(conn, seq, message, code="shutting-down")
+
+
+async def _discard_to_newline(reader: asyncio.StreamReader) -> None:
+    """Drop the rest of an over-limit line without buffering it whole."""
+    while True:
+        try:
+            await reader.readuntil(b"\n")
+            return
+        except asyncio.LimitOverrunError as exc:
+            await reader.readexactly(exc.consumed)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return
+
+
+# ---------------------------------------------------------- thread embedding
+
+
+class RouterHandle:
+    """A running router on its own event-loop thread (mirrors ServerHandle)."""
+
+    def __init__(
+        self,
+        router: SketchRouter,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.router = router
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.router.address is not None
+        return self.router.address
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        done = asyncio.run_coroutine_threadsafe(self.router.stop(drain=drain), self._loop)
+        done.result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "RouterHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_router_thread(
+    sketch_path: str,
+    processes: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_line_bytes: int = protocol.MAX_LINE_BYTES,
+    worker_args: tuple[str, ...] = (),
+    restart_delay_s: float = 0.5,
+    worker_boot_timeout_s: float = 60.0,
+) -> RouterHandle:
+    """Start a :class:`SketchRouter` on a daemon event-loop thread.
+
+    Returns once every worker has booted and the socket is bound (or
+    re-raises the boot/bind error in the caller).
+    """
+    router = SketchRouter(
+        sketch_path,
+        processes=processes,
+        host=host,
+        port=port,
+        max_line_bytes=max_line_bytes,
+        worker_args=worker_args,
+        restart_delay_s=restart_delay_s,
+        worker_boot_timeout_s=worker_boot_timeout_s,
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    boot_error: list[BaseException] = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(router.start())
+        except BaseException as exc:
+            boot_error.append(exc)
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()  # until RouterHandle.stop() calls loop.stop()
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-sketch-router", daemon=True)
+    thread.start()
+    started.wait(timeout=worker_boot_timeout_s + 30.0)
+    if boot_error:
+        raise boot_error[0]
+    return RouterHandle(router, loop, thread)

@@ -316,16 +316,7 @@ class SketchServer:
         write_lock: asyncio.Lock,
         response: Response,
     ) -> None:
-        try:
-            payload = protocol.encode(response)
-        except ValueError:  # non-finite answer; never put bare NaN on the wire
-            payload = protocol.encode(
-                ErrorResponse(
-                    error="answer is not finite",
-                    code="internal",
-                    id=getattr(response, "id", None),
-                )
-            )
+        payload = protocol.encode_safe(response)
         async with write_lock:  # frames must never interleave mid-line
             if writer.is_closing():
                 return

@@ -1,0 +1,196 @@
+"""Shard worker process for the multi-process serving router.
+
+``python -m repro.serve.worker --sketch PATH ...`` is what
+:mod:`repro.serve.router` spawns, one process per shard: each worker loads
+its own copy of the sketch (preferably from the binary ``.npz`` spill —
+see :meth:`repro.core.compiled.CompiledSketch.save_npz` — so a spawn costs
+milliseconds), runs its own :class:`~repro.serve.service.SketchService`
+(micro-batcher, answer cache, engine replica pool) and answers protocol
+frames on stdin/stdout.
+
+The router<->worker wire is the client wire plus a tiny routing envelope::
+
+    <rid>\\t<protocol frame>\\n      router -> worker
+    <rid>\\t<protocol response>\\n   worker -> router
+
+``rid`` is the router's opaque decimal routing id, echoed back verbatim;
+the frame between tab and newline is byte-for-byte what the client sent,
+so the worker — not the router — does all JSON decode/encode work, which
+is exactly the Python-bound cost that sharding distributes. Responses
+therefore carry the client's own request ``id`` untouched.
+
+A pool of handler threads answers frames concurrently, so single-query
+frames arriving back to back land in the same micro-batch window just as
+they do in the single-process server. EOF on stdin drains the service and
+exits 0; the first line written is the ``READY`` handshake the router
+waits for before forwarding traffic.
+
+:func:`answer_frame` is the synchronous one-frame handler shared with the
+CLI's ``repro serve --stdio`` loop (the asyncio server has its own twin in
+:meth:`repro.serve.server.SketchServer._serve_frame`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.serve import protocol
+
+#: First line a worker writes once its service is registered and it is
+#: about to enter the frame loop. The router treats anything else as a
+#: failed boot.
+READY_LINE = b"READY"
+
+
+def answer_frame(service, raw_line, max_line_bytes: int, timeout_s: float):
+    """One protocol frame -> one protocol response (never raises).
+
+    The synchronous transport's request handler, shared by the stdio loop
+    and the sharding worker; both speak only :mod:`repro.serve.protocol`
+    dataclasses.
+    """
+    rid = None
+    try:
+        protocol.check_line_size(raw_line, max_line_bytes)
+        request = protocol.decode_request(raw_line)
+        rid = request.id
+        if isinstance(request, protocol.StatsRequest):
+            return protocol.StatsResponse(stats=service.stats(request.sketch), id=rid)
+        if isinstance(request, protocol.BatchQueryRequest):
+            answers = service.ask_many(
+                np.asarray(request.q, dtype=np.float64), request.sketch
+            )
+            return protocol.BatchQueryResponse(
+                answers=tuple(float(a) for a in answers), id=rid, sketch=request.sketch
+            )
+        fut = service.submit(np.asarray(request.q, dtype=np.float64), request.sketch)
+        answer = fut.result(timeout=timeout_s)
+        return protocol.QueryResponse(
+            answer=float(answer),
+            cached=bool(getattr(fut, "cached", False)),
+            id=rid,
+            sketch=request.sketch,
+        )
+    except protocol.ProtocolError as exc:
+        return exc.to_response(rid)
+    except KeyError as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        return protocol.ErrorResponse(error=str(message), code="unknown-sketch", id=rid)
+    except TimeoutError:
+        return protocol.ErrorResponse(
+            error=f"request missed the {timeout_s}s deadline", code="timeout", id=rid
+        )
+    except Exception as exc:  # a bad frame must not kill the loop
+        return protocol.ErrorResponse(
+            error=f"{type(exc).__name__}: {exc}", code="internal", id=rid
+        )
+
+
+def load_worker_sketch(path: str, dtype: str | None = None):
+    """Load a sketch artifact for serving, preferring the fast binary path.
+
+    ``.npz`` spills load through
+    :meth:`~repro.core.compiled.CompiledSketch.load_npz` (milliseconds, no
+    JSON number parsing); anything else goes through the regular
+    :func:`~repro.serve.service.load_sketch`.
+    """
+    if path.endswith(".npz"):
+        from repro.core.compiled import CompiledSketch
+
+        return CompiledSketch.load_npz(path, dtype=dtype)
+    from repro.serve.service import load_sketch
+
+    return load_sketch(path, dtype=dtype)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-worker",
+        description="one shard of a multi-process sketch server (internal)",
+    )
+    parser.add_argument("--sketch", required=True, metavar="PATH")
+    parser.add_argument("--infer-dtype", choices=("float32", "float64"), default=None,
+                        help="execution tier (default: the artifact's recorded tier)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="micro-batch flush workers inside this process")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-delay-ms", type=float, default=2.0)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--cache-resolution", type=float, default=1e-4)
+    parser.add_argument("--cache-exact", action="store_true")
+    parser.add_argument("--max-line-bytes", type=int, default=protocol.MAX_LINE_BYTES)
+    parser.add_argument("--request-timeout-s", type=float, default=30.0)
+    parser.add_argument("--register-tiers", action="store_true",
+                        help="also register the sketch per dtype tier under the "
+                             "tier's name (float32/float64) — the parity bench "
+                             "uses this to pin wire answers per tier")
+    parser.add_argument("--io-threads", type=int, default=None,
+                        help="frame handler threads (default: 2x --workers, min 8)")
+    return parser
+
+
+def worker_main(argv: list[str] | None = None) -> int:
+    from repro.serve.service import SketchService
+
+    args = build_parser().parse_args(argv)
+    try:
+        sketch = load_worker_sketch(args.sketch, dtype=args.infer_dtype)
+        service = SketchService(
+            max_batch_size=args.max_batch,
+            max_delay_s=args.max_delay_ms / 1e3,
+            cache=not args.no_cache,
+            cache_resolution=args.cache_resolution,
+            cache_exact=args.cache_exact,
+            workers=args.workers,
+        )
+        service.register("default", sketch)
+        if args.register_tiers and callable(getattr(sketch, "with_dtype", None)):
+            from repro.core.compiled import DTYPE_TIERS
+
+            for tier in sorted(DTYPE_TIERS):
+                service.register(tier, sketch.with_dtype(tier))
+    except Exception as exc:
+        print(f"[worker] boot failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    write_lock = threading.Lock()
+    io_threads = args.io_threads if args.io_threads else max(8, 2 * args.workers)
+
+    def handle(rid: bytes, frame: bytes) -> None:
+        response = answer_frame(service, frame, args.max_line_bytes, args.request_timeout_s)
+        line = protocol.encode_safe(response).encode("utf-8")
+        with write_lock:
+            try:
+                stdout.write(rid + b"\t" + line + b"\n")
+                stdout.flush()
+            except (BrokenPipeError, ValueError, OSError):
+                pass  # router went away; the EOF on stdin ends the loop
+
+    with write_lock:
+        stdout.write(READY_LINE + b"\n")
+        stdout.flush()
+    pool = ThreadPoolExecutor(max_workers=io_threads, thread_name_prefix="repro-shard")
+    try:
+        for raw in stdin:
+            line = raw.rstrip(b"\r\n")
+            if not line:
+                continue
+            rid, sep, frame = line.partition(b"\t")
+            if not sep:  # an untagged line is a router bug; answer anyway
+                rid, frame = b"", rid
+            pool.submit(handle, rid, frame)
+    finally:
+        pool.shutdown(wait=True)
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(worker_main())

@@ -401,6 +401,20 @@ def test_serve_bad_knobs_exit_with_clean_error(capsys):
     assert "max_batch_size" in err and "Traceback" not in err
 
 
+def test_serve_processes_flag_validation(capsys):
+    # Sharding is a socket-tier feature: stdio mode is one process by
+    # definition, and a zero fleet is a config error either way.
+    rc = main(["serve", "--sketch", GOLDEN_SKETCH, "--processes", "2"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "--listen" in err and "Traceback" not in err
+    rc = main(["serve", "--sketch", GOLDEN_SKETCH, "--listen", "127.0.0.1:0",
+               "--processes", "0"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "--processes" in err and "Traceback" not in err
+
+
 def test_truncated_sketch_exits_with_clean_error(tmp_path, capsys):
     import pathlib
 

@@ -343,3 +343,74 @@ def test_serialized_payload_has_no_pool_state(tmp_path):
     # Pool state is runtime-only: a fresh load starts from one context.
     assert again.n_replicas == 1
     np.testing.assert_array_equal(again.predict(Q[:8]), engine.predict(Q[:8]))
+
+
+# ------------------------------------------------- regression: checkout rollback
+
+
+def test_checkout_rolls_back_pool_slot_when_replicate_raises(monkeypatch):
+    """A replicate() failure mid-checkout used to leak the claimed pool slot
+    (``_n_contexts`` stayed bumped with no context ever checked in), so a
+    capped pool could deadlock forever after one allocation failure."""
+    from repro.core.compiled import _LeafGroup
+
+    ns, Q, _ = make_sketch(seed=13, dim=3, height=3, n=400)
+    engine = ns.compile(dtype="float32")
+    engine.max_replicas = 2
+    expected = engine.predict(Q[:4])
+    held = engine._checkout()  # hold the pool's only context: growth forced
+    original = _LeafGroup.replicate
+    calls = {"n": 0}
+
+    def flaky_replicate(self):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise MemoryError("allocation failed")
+        return original(self)
+
+    monkeypatch.setattr(_LeafGroup, "replicate", flaky_replicate)
+    with pytest.raises(MemoryError):
+        engine.predict(Q[:4])
+    # The claimed slot was released: only the held context remains counted.
+    assert engine.n_replicas == 1
+    # The next caller grows the pool again and succeeds; without the
+    # rollback it would wait forever at a cap the pool never actually
+    # reached.
+    got = engine.predict(Q[:4])
+    assert engine.n_replicas == 2
+    engine._checkin(held)
+    np.testing.assert_array_equal(got, expected)
+
+
+# ------------------------------------------------------- npz spill round trip
+
+
+def test_npz_spill_round_trips_bitwise_on_both_tiers(tmp_path):
+    ns, Q, _ = make_sketch(seed=14, dim=3, height=3, n=400)
+    for tier in sorted(DTYPE_TIERS):
+        engine = ns.compile(dtype=tier)
+        path = str(tmp_path / f"spill-{tier}.npz")
+        engine.save_npz(path)
+        again = CompiledSketch.load_npz(path)
+        assert again.dtype_name == tier
+        np.testing.assert_array_equal(again.predict(Q), engine.predict(Q))
+        assert again.predict_one(Q[0]) == engine.predict_one(Q[0])
+
+
+def test_npz_spill_dtype_override_retiers_from_canonical(tmp_path):
+    ns, Q, _ = make_sketch(seed=15, dim=3, height=3, n=400)
+    engine32 = ns.compile(dtype="float32")
+    path = str(tmp_path / "spill.npz")
+    engine32.save_npz(path)
+    # Loading the float32 spill at float64 must equal a direct float64
+    # compile: the spill stores canonical float64 weights, not tier casts.
+    engine64 = CompiledSketch.load_npz(path, dtype="float64")
+    direct64 = ns.compile(dtype="float64")
+    np.testing.assert_array_equal(engine64.predict(Q), direct64.predict(Q))
+
+
+def test_npz_spill_rejects_foreign_payloads(tmp_path):
+    path = str(tmp_path / "foreign.npz")
+    np.savez(path, a=np.zeros(3))
+    with pytest.raises(ValueError, match="not a compiled-sketch npz"):
+        CompiledSketch.load_npz(path)

@@ -446,3 +446,114 @@ def test_microbatcher_dtype_knob_controls_batch_dtype():
     assert seen == [np.dtype(np.float32)]
     assert answers.dtype == np.float64
     np.testing.assert_allclose(answers, [3.0, 7.0])
+
+
+# ------------------------------------------------------- regression: cache key
+
+
+def test_cache_key_large_coordinates_do_not_collide():
+    """Coordinates whose quantized grid index overflows int64 used to wrap
+    (numpy cast), so distinct huge queries could alias one cache slot; they
+    now fall back to exact-bytes keys."""
+    cache = AnswerCache(resolution=1e-4)
+    q1, q2 = np.array([3e18]), np.array([4e18])
+    assert cache.key(q1) != cache.key(q2)
+    cache.put(q1, 1.0)
+    assert cache.get(q2) is None
+    assert cache.get(q1) == 1.0
+
+
+def test_cache_key_non_finite_components_are_distinct_and_stable():
+    cache = AnswerCache(resolution=1e-4)
+    q_inf, q_nan = np.array([np.inf, 0.0]), np.array([np.nan, 0.0])
+    assert cache.key(q_inf) != cache.key(q_nan)
+    cache.put(q_inf, 7.0)
+    assert cache.get(q_inf) == 7.0
+    assert cache.get(q_nan) is None
+
+
+def test_cache_key_modes_cannot_alias_each_other():
+    """A fallback exact-bytes key must never equal a quantized key: both are
+    8 bytes per component, so only the disjoint mode prefixes keep the two
+    key spaces apart."""
+    cache = AnswerCache(resolution=1e-4)
+    quantized = cache.key(np.array([1.0]))
+    exact_fallback = cache.key(np.array([3e18]))
+    assert len(quantized) == len(exact_fallback)
+    assert quantized[:1] == b"q" and exact_fallback[:1] == b"x"
+
+
+# -------------------------------------------------- regression: flush accounting
+
+
+def test_microbatcher_counts_failed_flushes():
+    """A predict that raises used to vanish from the flush counters; it now
+    counts as an attempted flush and increments ``n_errors``."""
+
+    def boom(Q):
+        raise RuntimeError("kaboom")
+
+    batcher = MicroBatcher(boom, max_batch_size=1, max_delay_s=0.01)
+    try:
+        fut = batcher.submit(np.array([[1.0, 2.0]]))
+        with pytest.raises(RuntimeError):
+            fut.result(timeout=5.0)
+        stats = batcher.stats()
+        assert stats["n_errors"] == 1
+        assert stats["n_flushes"] == 1
+        assert stats["n_rows_flushed"] == 1
+    finally:
+        batcher.close()
+
+
+def test_microbatcher_counts_failed_run_fast_path():
+    def boom(Q):
+        raise RuntimeError("kaboom")
+
+    batcher = MicroBatcher(boom)
+    try:
+        with pytest.raises(RuntimeError):
+            batcher.run(np.array([[1.0, 2.0]]))
+        stats = batcher.stats()
+        assert stats["n_errors"] == 1 and stats["n_flushes"] == 1
+    finally:
+        batcher.close()
+
+
+def test_service_stats_surface_batcher_errors():
+    class BoomSketch:
+        def predict(self, Q):
+            raise RuntimeError("kaboom")
+
+    with SketchService(cache=False) as svc:
+        svc.register("boom", BoomSketch())
+        with pytest.raises(RuntimeError):
+            svc.ask(np.array([1.0]))
+        assert svc.stats()["batcher"]["n_errors"] == 1
+
+
+# ------------------------------------------------- coverage: ask_many + close
+
+
+def test_ask_many_duplicate_rows_with_interleaved_cache_hits():
+    """Duplicate rows inside one block plus rows already cached from earlier
+    asks: every position must still get the right answer."""
+    with SketchService(cache=True, cache_resolution=1e-6) as svc:
+        svc.register("sum", SumSketch())
+        assert svc.ask(np.array([1.0, 1.0])) == pytest.approx(2.0)  # pre-cache
+        Q = np.array(
+            [[1.0, 1.0], [3.0, 3.0], [1.0, 1.0], [5.0, 5.0], [3.0, 3.0]]
+        )
+        np.testing.assert_allclose(svc.ask_many(Q), [2.0, 6.0, 2.0, 10.0, 6.0])
+        cache = svc.stats()["cache"]
+        assert cache["hits"] >= 1  # at least the pre-cached row hit
+        # A second pass is all hits, whatever the duplicate layout.
+        np.testing.assert_allclose(svc.ask_many(Q), [2.0, 6.0, 2.0, 10.0, 6.0])
+
+
+def test_microbatcher_drain_and_run_after_close():
+    batcher = MicroBatcher(SumSketch().predict)
+    batcher.close()
+    assert batcher.drain() == 0  # nothing pending; must not deadlock or raise
+    with pytest.raises(RuntimeError, match="closed"):
+        batcher.run(np.array([[1.0, 2.0]]))
