@@ -9,6 +9,9 @@ Subcommands:
   (:mod:`repro.serve.protocol`): ``--listen host:port`` runs the asyncio
   socket server for many concurrent clients; the default (``--stdio``)
   answers frames on stdin/stdout.
+- ``ingest`` — mutate a streaming sketch: append rows / delete a box,
+  against a running ``serve --mutable`` server (``--connect``) or offline
+  against a saved stream bundle (``--sketch``).
 - ``query`` — one-shot ask: against a saved sketch artifact (``--sketch``)
   or a running server (``--connect host:port``).
 - ``compare`` — side-by-side table over previously written BENCH files.
@@ -103,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--save-sketch", default=None, metavar="PATH",
                      help="persist the fitted neurosketch artifact (gzip JSON) "
                           "for `repro serve` / `repro query`")
+    run.add_argument("--save-stream", default=None, metavar="PATH",
+                     help="persist the streaming-bench mutable sketch as an "
+                          ".npz stream bundle for `repro serve --mutable` / "
+                          "`repro ingest` (needs the stream bench, i.e. "
+                          "'neurosketch' among --estimators)")
+    run.add_argument("--no-stream-bench", action="store_true",
+                     help="skip the streaming-maintenance BENCH block")
     run.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
     serve = sub.add_parser(
@@ -140,6 +150,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="answer-cache quantization grid step")
     serve.add_argument("--cache-exact", action="store_true",
                        help="bypass quantization: only bit-identical queries hit")
+    serve.add_argument("--mutable", action="store_true",
+                       help="accept `ingest` frames (the artifact must be a "
+                            "stream bundle written by `repro run --save-stream`)")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="mutate a streaming sketch: append rows and/or delete a box "
+             "(against a running server or a saved stream bundle)",
+    )
+    ingest.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="send an ingest frame to a running "
+                             "`repro serve --mutable` server")
+    ingest.add_argument("--sketch", default=None, metavar="PATH",
+                        help="apply the mutation offline to a saved stream "
+                             "bundle (rewritten in place unless --out is given)")
+    ingest.add_argument("--out", default=None, metavar="PATH",
+                        help="with --sketch: write the mutated bundle here "
+                             "instead of overwriting the input")
+    ingest.add_argument("--name", default=None, metavar="SKETCH",
+                        help="with --connect: the registered sketch name "
+                             "(default: the server's default sketch)")
+    ingest.add_argument("--rows", default=None, metavar="FILE",
+                        help="raw data rows to append: a .npy array or a text "
+                             "file with one comma/space-separated row per line")
+    ingest.add_argument("--row", action="append", default=None, metavar="V1,V2,...",
+                        help="one raw data row to append (repeatable)")
+    ingest.add_argument("--delete-lo", default=None, metavar="V1,V2,...",
+                        help="raw-space lower corner of a delete box")
+    ingest.add_argument("--delete-hi", default=None, metavar="V1,V2,...",
+                        help="raw-space upper corner of a delete box "
+                             "(rows with lo <= x < hi are deleted)")
 
     query = sub.add_parser(
         "query",
@@ -210,12 +251,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             compile=not args.no_compile,
             infer_dtype=args.infer_dtype,
             fast=args.fast,
+            stream_bench=not args.no_stream_bench,
         )
         name = args.name if args.name else _default_bench_name(args.dataset)
-        # Fail the --save-sketch precondition before the (possibly long)
-        # experiment runs, not after.
+        # Fail the --save-sketch/--save-stream preconditions before the
+        # (possibly long) experiment runs, not after.
         if args.save_sketch and "neurosketch" not in config.estimators:
             raise ValueError("--save-sketch needs 'neurosketch' among --estimators")
+        if args.save_stream and "neurosketch" not in config.estimators:
+            raise ValueError("--save-stream needs 'neurosketch' among --estimators")
+        if args.save_stream and args.no_stream_bench:
+            raise ValueError("--save-stream conflicts with --no-stream-bench")
     except (KeyError, ValueError) as exc:
         return _operator_error(exc)
     progress = None if args.quiet else (lambda msg: print(f"[repro] {msg}", file=sys.stderr))
@@ -238,6 +284,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except OSError as exc:
             return _operator_error(exc)
         print(f"wrote {args.save_sketch}")
+    if args.save_stream:
+        stream = result.fitted.get("stream")
+        if stream is None:
+            return _operator_error(
+                ValueError("the stream bench produced no mutable sketch "
+                           "(it needs the compiled 'neurosketch' estimator)")
+            )
+        try:
+            stream.save_npz(args.save_stream)
+        except OSError as exc:
+            return _operator_error(exc)
+        print(f"wrote {args.save_stream}")
     return 0
 
 
@@ -285,6 +343,8 @@ def _serve_sharded(args: argparse.Namespace, max_line_bytes: int) -> int:
         worker_args.append("--no-cache")
     if args.cache_exact:
         worker_args.append("--cache-exact")
+    if args.mutable:
+        worker_args.append("--mutable")
     artifact = None
     try:
         host, port = parse_address(args.listen)
@@ -348,6 +408,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_resolution=args.cache_resolution,
             cache_exact=args.cache_exact,
             workers=args.workers,
+            allow_mutations=args.mutable,
         )
         service.register("default", sketch)
     except ValueError as exc:  # bad cache/batch/worker knobs
@@ -417,6 +478,87 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_ingest_rows(args: argparse.Namespace) -> np.ndarray | None:
+    """Collect the append rows of an ``ingest`` invocation (or ``None``)."""
+    chunks: list[np.ndarray] = []
+    if args.rows:
+        if args.rows.endswith(".npy"):
+            chunks.append(np.atleast_2d(np.asarray(np.load(args.rows), dtype=np.float64)))
+        else:
+            with open(args.rows) as fh:
+                lines = [line for line in fh if line.strip()]
+            if lines:
+                chunks.append(np.vstack([_parse_query_vector([line]) for line in lines]))
+    for spec in args.row or ():
+        chunks.append(_parse_query_vector([spec])[None, :])
+    if not chunks:
+        return None
+    try:
+        return np.vstack(chunks)
+    except ValueError:
+        raise ValueError("append rows do not all have the same width")
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json
+
+    if (args.sketch is None) == (args.connect is None):
+        return _operator_error(ValueError("pass exactly one of --sketch or --connect"))
+    if (args.delete_lo is None) != (args.delete_hi is None):
+        return _operator_error(ValueError("--delete-lo and --delete-hi come together"))
+    try:
+        rows = _load_ingest_rows(args)
+        delete = None
+        if args.delete_lo is not None:
+            lo = _parse_query_vector([args.delete_lo])
+            hi = _parse_query_vector([args.delete_hi])
+            if lo.shape != hi.shape:
+                raise ValueError("--delete-lo and --delete-hi must have the same width")
+            delete = (lo, hi)
+        if rows is None and delete is None:
+            raise ValueError("nothing to ingest: pass --rows/--row and/or a delete box")
+    except (OSError, ValueError) as exc:
+        return _operator_error(exc)
+    if args.connect is not None:
+        from repro.serve import Client, ServerError
+
+        if args.out is not None:
+            return _operator_error(ValueError("--out only applies to --sketch mode"))
+        try:
+            with Client.connect(args.connect) as client:
+                summary = client.ingest(rows=rows, delete=delete, sketch=args.name)
+        except (OSError, ValueError, ServerError) as exc:
+            return _operator_error(exc)
+        print(json.dumps(summary, sort_keys=True))
+        return 0
+    from repro.stream import load_stream_sketch
+
+    try:
+        sketch = load_stream_sketch(args.sketch)
+        results = []
+        if rows is not None:
+            results.append(sketch.append(rows))
+        if delete is not None:
+            results.append(sketch.delete(delete[0], delete[1]))
+        out = args.out if args.out else args.sketch
+        sketch.save_npz(out)
+    except (OSError, ValueError, EOFError) as exc:
+        return _operator_error(exc)
+    summary = {
+        "op": "+".join(r.op for r in results),
+        "appended": sum(r.appended for r in results),
+        "deleted": sum(r.deleted for r in results),
+        "dirty_leaves": sorted({l for r in results for l in r.dirty_leaves}),
+        "retrained_leaves": sorted({l for r in results for l in r.retrained_leaves}),
+        "swapped": any(r.swapped for r in results),
+        "epoch": results[-1].epoch,
+        "data_version": results[-1].data_version,
+    }
+    print(json.dumps(summary, sort_keys=True))
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     benches: dict[str, dict] = {}
     for raw in args.bench_files:
@@ -455,6 +597,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "serve": _cmd_serve,
+        "ingest": _cmd_ingest,
         "query": _cmd_query,
         "compare": _cmd_compare,
         "list-datasets": _cmd_list_datasets,

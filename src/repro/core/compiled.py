@@ -291,6 +291,41 @@ class FlatTree:
             d = sd[node]
         return self._lid[node]
 
+    def leaf_boxes(self, dim: int) -> tuple[np.ndarray, np.ndarray]:
+        """Query-space bounding box of every leaf's routing region.
+
+        Returns ``(lo, hi)``, each of shape ``(n_leaves, dim)`` and indexed
+        by leaf id; sides never constrained by a split are ``-inf``/``inf``.
+        Routing sends ``q[d] <= val`` left, so the boundary plane belongs to
+        the left box; both bounds are reported closed, which is the
+        conservative convention for intersection tests (a region sitting
+        exactly on a split plane intersects both children's boxes). This is
+        what the streaming subsystem uses to decide which leaf partitions a
+        data mutation dirties.
+        """
+        max_dim = int(self.split_dim.max(initial=-1))
+        if dim <= max_dim:
+            raise ValueError(f"dim must exceed the largest split dim ({max_dim})")
+        lo = np.full((self.n_leaves, dim), -np.inf)
+        hi = np.full((self.n_leaves, dim), np.inf)
+        stack = [(0, np.full(dim, -np.inf), np.full(dim, np.inf))]
+        while stack:
+            node, nlo, nhi = stack.pop()
+            d = self._sd[node]
+            if d < 0:
+                lid = self._lid[node]
+                lo[lid] = nlo
+                hi[lid] = nhi
+                continue
+            v = self._sv[node]
+            lhi = nhi.copy()
+            lhi[d] = min(lhi[d], v)
+            rlo = nlo.copy()
+            rlo[d] = max(rlo[d], v)
+            stack.append((self._rc[node], rlo, nhi))
+            stack.append((self._lc[node], nlo, lhi))
+        return lo, hi
+
     # ------------------------------------------------------------ persistence
 
     def to_dict(self) -> dict:
@@ -672,12 +707,38 @@ class _EngineContext:
     scratch. :class:`CompiledSketch` checks a context out per predict
     call, so concurrent callers each own their scratch instead of
     serializing on an engine-wide lock.
+
+    A context also pins the *entire epoch state* it was built from — the
+    flat tree, the leaf→(group, slot) maps and the epoch counter — so a
+    predict that checked out before a :meth:`CompiledSketch.swap_from`
+    finishes on a mutually consistent (tree, weights) pair from the old
+    epoch even while the sketch object already serves the new one.
     """
 
-    __slots__ = ("groups", "_cap", "_node", "_rows", "_slots")
+    __slots__ = (
+        "tree",
+        "groups",
+        "leaf_group",
+        "leaf_slot",
+        "lg_list",
+        "ls_list",
+        "slot_identity",
+        "epoch",
+        "_cap",
+        "_node",
+        "_rows",
+        "_slots",
+    )
 
-    def __init__(self, groups: list[_LeafGroup]) -> None:
+    def __init__(self, sketch: "CompiledSketch", groups: list[_LeafGroup]) -> None:
+        self.tree = sketch.tree
         self.groups = groups
+        self.leaf_group = sketch.leaf_group
+        self.leaf_slot = sketch.leaf_slot
+        self.lg_list = sketch._lg_list
+        self.ls_list = sketch._ls_list
+        self.slot_identity = sketch._slot_identity
+        self.epoch = sketch.epoch
         self._cap = 0
         self._node = None
         self._rows = None
@@ -739,8 +800,9 @@ class CompiledSketch:
         # created on demand up to ``max_replicas``. Checked-out contexts are
         # exclusive, so concurrent predicts never share mutable state.
         self.max_replicas = DEFAULT_MAX_REPLICAS
+        self.epoch = 0
         self._pool = threading.Condition()
-        self._idle = [_EngineContext(self.groups)]
+        self._idle = [_EngineContext(self, self.groups)]
         self._n_contexts = 1
 
     # ------------------------------------------------------------------ build
@@ -853,6 +915,9 @@ class CompiledSketch:
     ) -> "CompiledSketch":
         """Build directly from an already-stacked model set.
 
+        ``tree`` may be a :class:`~repro.core.kdtree.QueryKDTree` (flattened
+        here) or an already-flat :class:`FlatTree` (the streaming retrain
+        path rebuilds engines without keeping the object tree around).
         ``stacked`` is a :class:`~repro.nn.stacked.StackedMLP` whose slot
         ``k`` holds leaf ``leaf_ids[k]`` (default: slot order is leaf-id
         order); the optional stacked scalers
@@ -865,7 +930,7 @@ class CompiledSketch:
         (mixed-architecture sketches go through :meth:`from_sketch` instead).
         """
         resolve_dtype(dtype)
-        flat = FlatTree.from_tree(tree)
+        flat = tree if isinstance(tree, FlatTree) else FlatTree.from_tree(tree)
         n_leaves = stacked.n_leaves
         leaf_ids = list(range(n_leaves)) if leaf_ids is None else [int(i) for i in leaf_ids]
         if sorted(leaf_ids) != list(range(flat.n_leaves)):
@@ -927,7 +992,7 @@ class CompiledSketch:
                 if self._n_contexts < self.max_replicas:
                     self._n_contexts += 1
                     try:
-                        return _EngineContext([g.replicate() for g in self.groups])
+                        return _EngineContext(self, [g.replicate() for g in self.groups])
                     except BaseException:
                         # The slot was claimed but never materialized (e.g.
                         # an allocation failure in replicate); without the
@@ -941,8 +1006,55 @@ class CompiledSketch:
 
     def _checkin(self, ctx: _EngineContext) -> None:
         with self._pool:
-            self._idle.append(ctx)
+            if ctx.epoch != self.epoch:
+                # The context predates a hot-swap: its groups hold the old
+                # epoch's weights, so returning it to the idle list would
+                # leak stale answers. Retire it and free the pool slot.
+                self._n_contexts -= 1
+            else:
+                self._idle.append(ctx)
             self._pool.notify()
+
+    def swap_from(self, other: "CompiledSketch") -> int:
+        """Atomically adopt ``other``'s tree and weights; returns the new epoch.
+
+        The streaming hot-swap seam: a maintenance pass builds a fresh
+        engine (re-tiered from canonical float64) and installs it here
+        without ever exposing a mixed state. Under the pool condition the
+        tree, the leaf maps and the groups swap together and the epoch
+        counter bumps; idle contexts are discarded and replaced with a
+        fresh replica of the new epoch, while contexts already checked out
+        keep their captured old-epoch state to completion and are retired —
+        not pooled — on check-in. Callers therefore observe either the old
+        epoch's answers or the new epoch's, never a mixture.
+        """
+        if other is self:
+            raise ValueError("cannot swap a sketch from itself")
+        if other.input_dim != self.input_dim:
+            raise ValueError(
+                f"input dim mismatch: {other.input_dim} != {self.input_dim}"
+            )
+        if other.dtype_name != self.dtype_name:
+            raise ValueError(
+                f"dtype tier mismatch: {other.dtype_name!r} != {self.dtype_name!r} "
+                "(re-tier with with_dtype before swapping)"
+            )
+        with self._pool:
+            self.tree = other.tree
+            self.groups = list(other.groups)
+            self.leaf_group = other.leaf_group
+            self.leaf_slot = other.leaf_slot
+            self._lg_list = other._lg_list
+            self._ls_list = other._ls_list
+            self._slot_identity = other._slot_identity
+            self.epoch += 1
+            checked_out = self._n_contexts - len(self._idle)
+            # Fresh primary context over *replicas* of the adopted groups:
+            # ``other``'s own context 0 keeps exclusive use of their arenas.
+            self._idle = [_EngineContext(self, [g.replicate() for g in self.groups])]
+            self._n_contexts = checked_out + 1
+            self._pool.notify_all()
+            return self.epoch
 
     @property
     def n_replicas(self) -> int:
@@ -958,6 +1070,7 @@ class CompiledSketch:
                 "idle": len(self._idle),
                 "max_replicas": self.max_replicas,
                 "dtype": self.dtype_name,
+                "epoch": self.epoch,
             }
 
     def predict(self, Q: np.ndarray) -> np.ndarray:
@@ -978,19 +1091,19 @@ class CompiledSketch:
                 out[0] = self._predict_one_ctx(ctx, Q[0])
                 return out
             ctx.ensure_arena(m)
-            leaves = self.tree.route_batch(Q, node=ctx._node, rows=ctx._rows)
+            leaves = ctx.tree.route_batch(Q, node=ctx._node, rows=ctx._rows)
             if len(ctx.groups) == 1:
-                if self._slot_identity:
+                if ctx.slot_identity:
                     slots = leaves
                 else:
-                    slots = np.take(self.leaf_slot, leaves, out=ctx._slots[:m])
+                    slots = np.take(ctx.leaf_slot, leaves, out=ctx._slots[:m])
                 ctx.groups[0].forward_batch(Q, slots, out=out)
                 return out
-            gid = self.leaf_group[leaves]
+            gid = ctx.leaf_group[leaves]
             for g, group in enumerate(ctx.groups):
                 sel = np.flatnonzero(gid == g)
                 if sel.size:
-                    out[sel] = group.forward_batch(Q[sel], self.leaf_slot[leaves[sel]])
+                    out[sel] = group.forward_batch(Q[sel], ctx.leaf_slot[leaves[sel]])
         finally:
             self._checkin(ctx)
         return out
@@ -1007,8 +1120,8 @@ class CompiledSketch:
             self._checkin(ctx)
 
     def _predict_one_ctx(self, ctx: _EngineContext, q: np.ndarray) -> float:
-        lid = self.tree.route_one(q)
-        return ctx.groups[self._lg_list[lid]].forward_one(q, self._ls_list[lid])
+        lid = ctx.tree.route_one(q)
+        return ctx.groups[ctx.lg_list[lid]].forward_one(q, ctx.ls_list[lid])
 
     def predict_padded(self, Q: np.ndarray) -> np.ndarray:
         """Reference padded-schedule batch predict (see
@@ -1019,15 +1132,18 @@ class CompiledSketch:
         m = Q.shape[0]
         if m == 0:
             return np.empty(0, dtype=np.float64)
-        leaves = self.tree.route_batch(Q)
-        if len(self.groups) == 1:
-            return self.groups[0].forward_batch_padded(Q, self.leaf_slot[leaves])
+        with self._pool:  # one consistent epoch snapshot across a hot-swap
+            tree, groups = self.tree, self.groups
+            leaf_group, leaf_slot = self.leaf_group, self.leaf_slot
+        leaves = tree.route_batch(Q)
+        if len(groups) == 1:
+            return groups[0].forward_batch_padded(Q, leaf_slot[leaves])
         out = np.empty(m, dtype=np.float64)
-        gid = self.leaf_group[leaves]
-        for g, group in enumerate(self.groups):
+        gid = leaf_group[leaves]
+        for g, group in enumerate(groups):
             sel = np.flatnonzero(gid == g)
             if sel.size:
-                out[sel] = group.forward_batch_padded(Q[sel], self.leaf_slot[leaves[sel]])
+                out[sel] = group.forward_batch_padded(Q[sel], leaf_slot[leaves[sel]])
         return out
 
     __call__ = predict
@@ -1099,6 +1215,25 @@ class CompiledSketch:
         entirely. Same canonical (unfused) weights as :meth:`to_dict`, so
         :meth:`load_npz` rebuilds a bit-identical engine on any tier.
         """
+        arrays = self.npz_payload()
+        meta = {
+            "format": "compiled-sketch-npz-v1",
+            "dtype": self.dtype_name,
+            "input_dim": self.input_dim,
+            "n_groups": len(self.groups),
+        }
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        with open(path, "wb") as fh:
+            np.savez(fh, **arrays)
+
+    def npz_payload(self) -> dict[str, np.ndarray]:
+        """Canonical arrays of the ``.npz`` spill format (sans ``meta``).
+
+        Exposed so composite artifacts — the streaming bundle embeds a
+        compiled engine next to its own state — can carry the exact same
+        arrays under the same keys and rebuild through
+        :meth:`from_npz_payload`.
+        """
         arrays: dict[str, np.ndarray] = {
             "tree_split_dim": self.tree.split_dim,
             "tree_split_val": self.tree.split_val,
@@ -1118,15 +1253,45 @@ class CompiledSketch:
             for li, (w, bias) in enumerate(zip(g.W, g.b)):
                 arrays[f"g{gi}_W{li}"] = w
                 arrays[f"g{gi}_b{li}"] = bias
-        meta = {
-            "format": "compiled-sketch-npz-v1",
-            "dtype": self.dtype_name,
-            "input_dim": self.input_dim,
-            "n_groups": len(self.groups),
-        }
-        arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
-        with open(path, "wb") as fh:
-            np.savez(fh, **arrays)
+        return arrays
+
+    @classmethod
+    def from_npz_payload(
+        cls, payload, n_groups: int, input_dim: int, dtype: str
+    ) -> "CompiledSketch":
+        """Rebuild from :meth:`npz_payload` arrays (``payload`` is any mapping)."""
+        resolve_dtype(dtype)
+        tree = FlatTree(
+            payload["tree_split_dim"],
+            payload["tree_split_val"],
+            payload["tree_left"],
+            payload["tree_right"],
+            payload["tree_leaf_id"],
+        )
+        groups = []
+        for gi in range(int(n_groups)):
+            layer_sizes = payload[f"g{gi}_layer_sizes"].tolist()
+            n_layers = len(layer_sizes) - 1
+            groups.append(
+                _LeafGroup(
+                    layer_sizes,
+                    payload[f"g{gi}_leaf_ids"].tolist(),
+                    [payload[f"g{gi}_W{li}"] for li in range(n_layers)],
+                    [payload[f"g{gi}_b{li}"] for li in range(n_layers)],
+                    payload[f"g{gi}_x_mean"],
+                    payload[f"g{gi}_x_scale"],
+                    payload[f"g{gi}_y_mean"],
+                    payload[f"g{gi}_y_scale"],
+                    dtype=dtype,
+                )
+            )
+        return cls(
+            tree,
+            groups,
+            payload["leaf_group"],
+            payload["leaf_slot"],
+            int(input_dim),
+        )
 
     @classmethod
     def load_npz(cls, path: str, dtype: str | None = None) -> "CompiledSketch":
@@ -1140,37 +1305,8 @@ class CompiledSketch:
                     f"not a compiled-sketch npz payload: format {meta.get('format')!r}"
                 )
             tier = dtype if dtype is not None else meta["dtype"]
-            resolve_dtype(tier)
-            tree = FlatTree(
-                payload["tree_split_dim"],
-                payload["tree_split_val"],
-                payload["tree_left"],
-                payload["tree_right"],
-                payload["tree_leaf_id"],
-            )
-            groups = []
-            for gi in range(int(meta["n_groups"])):
-                layer_sizes = payload[f"g{gi}_layer_sizes"].tolist()
-                n_layers = len(layer_sizes) - 1
-                groups.append(
-                    _LeafGroup(
-                        layer_sizes,
-                        payload[f"g{gi}_leaf_ids"].tolist(),
-                        [payload[f"g{gi}_W{li}"] for li in range(n_layers)],
-                        [payload[f"g{gi}_b{li}"] for li in range(n_layers)],
-                        payload[f"g{gi}_x_mean"],
-                        payload[f"g{gi}_x_scale"],
-                        payload[f"g{gi}_y_mean"],
-                        payload[f"g{gi}_y_scale"],
-                        dtype=tier,
-                    )
-                )
-            return cls(
-                tree,
-                groups,
-                payload["leaf_group"],
-                payload["leaf_slot"],
-                int(meta["input_dim"]),
+            return cls.from_npz_payload(
+                payload, meta["n_groups"], meta["input_dim"], dtype=tier
             )
 
     def __repr__(self) -> str:

@@ -182,6 +182,40 @@ class QueryKDTree:
             stack.append((node.left, idx[mask]))
         return out
 
+    def leaf_boxes(self) -> tuple[np.ndarray, np.ndarray]:
+        """Query-space bounding box of every leaf's routing region.
+
+        Returns ``(lo, hi)``, each ``(n_leaves, dim)`` indexed by leaf id;
+        sides no split constrains are ``-inf``/``inf``. Routing sends
+        ``q[dim] <= val`` left, so the boundary plane belongs to the left
+        box; both bounds are reported closed (the conservative convention
+        for intersection tests). Mirrors
+        :meth:`repro.core.compiled.FlatTree.leaf_boxes` on the object tree,
+        which is how the streaming ingest path maps a data mutation to the
+        leaf partitions it dirties.
+        """
+        n = self.n_leaves
+        lo = np.full((n, self.dim), -np.inf)
+        hi = np.full((n, self.dim), np.inf)
+        stack: list[tuple[KDNode, np.ndarray, np.ndarray]] = [
+            (self.root, np.full(self.dim, -np.inf), np.full(self.dim, np.inf))
+        ]
+        while stack:
+            node, nlo, nhi = stack.pop()
+            if node.is_leaf:
+                if node.leaf_id is None:
+                    raise ValueError("tree leaves must be labelled (relabel_leaves)")
+                lo[node.leaf_id] = nlo
+                hi[node.leaf_id] = nhi
+                continue
+            lhi = nhi.copy()
+            lhi[node.dim] = min(lhi[node.dim], node.val)
+            rlo = nlo.copy()
+            rlo[node.dim] = max(rlo[node.dim], node.val)
+            stack.append((node.right, rlo, nhi))
+            stack.append((node.left, nlo, lhi))
+        return lo, hi
+
     # ------------------------------------------------------------ persistence
 
     def to_dict(self) -> dict:

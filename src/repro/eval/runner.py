@@ -74,6 +74,11 @@ class ExperimentConfig:
     infer_dtype: str = "float32"
     # Service path (repro.serve): False skips the service timing block.
     service: bool = True
+    # Streaming maintenance bench (repro.stream): appends a localized row
+    # batch to a mutable sketch and compares incremental dirty-leaf
+    # retraining against a full rebuild (the BENCH `stream` block). False
+    # skips it; it also needs "neurosketch" among the estimators.
+    stream_bench: bool = True
     # Concurrent-serving bench: client connections driven against a live
     # socket server (the `service.concurrent` BENCH block). The issue's
     # acceptance bar is >= 8.
@@ -211,8 +216,12 @@ class ExperimentResult:
     n_test: int
     uniform_normalized_mae: float
     estimators: list[EstimatorResult]
+    #: The streaming-maintenance bench block (incremental retrain vs. full
+    #: rebuild); None when skipped.
+    stream: dict | None = None
     #: Fitted estimator objects by name (not serialized); lets callers save
-    #: a sketch artifact from the run (``repro run --save-sketch``).
+    #: a sketch artifact from the run (``repro run --save-sketch`` /
+    #: ``--save-stream``, the latter under the "stream" key).
     fitted: dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -233,6 +242,7 @@ class ExperimentResult:
             },
             "uniform_normalized_mae": self.uniform_normalized_mae,
             "estimators": [e.to_dict() for e in self.estimators],
+            "stream": dict(self.stream) if self.stream is not None else None,
         }
 
     def estimator(self, name: str) -> EstimatorResult:
@@ -483,6 +493,137 @@ def _time_service_concurrent(estimator, Q_test, config) -> dict:
     return out
 
 
+#: Kd-tree height of the streaming bench's own sketch: 2^6 = 64 leaves, the
+#: acceptance configuration for incremental-vs-rebuild maintenance.
+_STREAM_TREE_HEIGHT = 6
+
+#: Candidate normalized corner widths for the bench's append batch, tried
+#: until the batch dirties at most a quarter of the leaves.
+_STREAM_CORNER_EPS = (0.04, 0.02, 0.01, 0.005, 0.0025)
+
+
+def _bench_stream(ds, workload, Q_train, Q_test, config) -> tuple[dict, object]:
+    """The BENCH ``stream`` block: incremental maintenance vs. full rebuild.
+
+    Builds a mutable :class:`~repro.stream.sketch.StreamingSketch` (its own
+    64-leaf tree — maintenance granularity is the point, so it does not
+    reuse the accuracy experiment's merged tree), appends a batch of rows
+    localized near the data minimum so only a corner of the leaf partition
+    goes dirty, then measures the three phases the subsystem separates:
+
+    - *apply* — dirty marking + exact label refresh, no training;
+    - *incremental retrain* — the dirty slots only, every clean slot frozen
+      through the stacked fit (:meth:`retrain_pending`);
+    - *full rebuild* — every leaf retrained from scratch on the same
+      post-mutation labels (:meth:`rebuild`), the baseline a non-streaming
+      deployment would pay.
+
+    Accuracy of both paths is scored against exact answers recomputed on
+    the post-mutation data. Returns the block plus the mutated sketch (for
+    ``repro run --save-stream``), with the lenient measurement policy reset
+    to retrain-on-any-change so a served bundle maintains itself.
+    """
+    from repro.nn.train_core import TrainConfig
+    from repro.queries.executor import ExactEngine
+    from repro.stream import MaintenancePolicy, StreamingSketch
+
+    # The maintenance contrast needs gradient work — not per-batch fixed
+    # overhead — to dominate the stacked fit, so the bench pins the paper's
+    # network scale and tops the workload up to 64 queries per leaf even
+    # when the surrounding experiment is clamped (the fast profile).
+    n_q = max(Q_train.shape[0], (1 << _STREAM_TREE_HEIGHT) * 64)
+    Q_stream = Q_train if n_q == Q_train.shape[0] else workload.sample(n_q)
+    height = _STREAM_TREE_HEIGHT
+    if n_q < (1 << height) * 4:  # keep >= 4 training queries per leaf
+        height = max(1, int(np.floor(np.log2(max(2, n_q // 4)))))
+    train_config = TrainConfig(
+        epochs=max(config.epochs, 40),
+        batch_size=max(config.batch_size, 32),
+        lr=config.lr,
+        optimizer=config.optimizer,
+        patience=config.patience,
+        min_delta=config.min_delta,
+        seed=config.seed,
+    )
+    # Gate automatic retraining off during measurement so apply and retrain
+    # time separately; the policy is reset before the sketch is returned.
+    sketch, build_s = timed(
+        lambda: StreamingSketch.build(
+            ds,
+            Q_stream,
+            aggregate=config.aggregate,
+            tree_height=height,
+            depth=max(config.depth, 5),
+            width_first=max(config.width_first, 60),
+            width_rest=max(config.width_rest, 30),
+            config=train_config,
+            policy=MaintenancePolicy(min_dirty_rows=1 << 62),
+            seed=config.seed,
+        )
+    )
+    L = sketch.n_leaves
+
+    # An append batch near the normalized-space minimum corner: the stream
+    # the paper's sensor feeds produce is localized, and locality is what
+    # keeps the dirty fraction small. Widen from tiny until <= L/4 leaves
+    # would go dirty (the acceptance bound), preferring the widest batch.
+    k = int(min(256, max(64, ds.n // 20)))
+    unit = np.random.default_rng(config.seed + 7).random((k, ds.dim))
+    rows = None
+    dirty_preview = np.arange(L)
+    for eps in _STREAM_CORNER_EPS:
+        candidate = sketch.store.scaler.inverse_transform(unit * eps)
+        preview = sketch.preview_dirty(candidate)
+        if preview.size and preview.size * 4 <= L:
+            rows, dirty_preview = candidate, preview
+            break
+        if rows is None or (preview.size and preview.size < dirty_preview.size):
+            rows, dirty_preview = candidate, preview
+
+    applied, apply_s = timed(lambda: sketch.append(rows))
+    # Rebuild before the incremental retrain: both then run the *next*
+    # epoch's seed schedule, so the dirty slots initialize identically and
+    # the nMAE comparison isolates what freezing the clean slots costs.
+    rebuilt, rebuild_s = timed(sketch.rebuild)
+    retrain, retrain_s = timed(sketch.retrain_pending)
+
+    engine = ExactEngine(sketch.store.live_X, sketch.store.live_measure)
+    y_exact = engine.answer(sketch.predicate, Q_test, sketch.aggregate)
+    post = sketch.engine("float64").predict(Q_test)
+    reference = rebuilt.predict(Q_test)
+    scale = float(np.mean(np.abs(y_exact))) or 1.0
+    post_nmae = float(np.mean(np.abs(post - y_exact))) / scale
+    rebuild_nmae = float(np.mean(np.abs(reference - y_exact))) / scale
+
+    # A delete pass over the batch's own region (tombstones + label refresh,
+    # no retraining under the gated policy): the other half of the API.
+    lo = rows.min(axis=0)
+    hi = rows.max(axis=0) + 1e-9
+    deleted, delete_s = timed(lambda: sketch.delete(lo, hi))
+
+    sketch.policy = MaintenancePolicy()  # served bundles maintain themselves
+    block = {
+        "leaves": int(L),
+        "tree_height": int(height),
+        "build_s": build_s,
+        "appended_rows": int(applied.appended),
+        "apply_s": apply_s,
+        "dirty_leaves": len(applied.dirty_leaves),
+        "dirty_fraction": len(applied.dirty_leaves) / L,
+        "retrained_leaves": len(retrain.retrained_leaves),
+        "incremental_retrain_s": retrain_s,
+        "full_rebuild_s": rebuild_s,
+        "speedup_vs_rebuild": rebuild_s / retrain_s,
+        "post_update_nmae": post_nmae,
+        "rebuild_nmae": rebuild_nmae,
+        "deleted_rows": int(deleted.deleted),
+        "delete_apply_s": delete_s,
+        "epoch": int(sketch.epoch),
+        "data_version": int(sketch.data_version),
+    }
+    return block, sketch
+
+
 def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
     """Run one experiment end-to-end.
 
@@ -656,6 +797,12 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
             )
         )
 
+    stream = None
+    if config.stream_bench and "neurosketch" in config.estimators:
+        say("streaming maintenance bench (incremental retrain vs. rebuild)")
+        stream, stream_sketch = _bench_stream(ds, workload, Q_train, Q_test, config)
+        fitted["stream"] = stream_sketch
+
     return ExperimentResult(
         config=config,
         dataset_name=ds.name,
@@ -666,5 +813,6 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
         n_test=Q_test.shape[0],
         uniform_normalized_mae=uniform_answer_error(y_train, y_test),
         estimators=results,
+        stream=stream,
         fitted=fitted,
     )

@@ -367,11 +367,18 @@ class StackedTrainer:
         Qs: list[np.ndarray],
         ys: list[np.ndarray],
         seeds: list[int] | None = None,
+        frozen: np.ndarray | None = None,
     ) -> StackedTrainResult:
         """Train every ``models[l]`` to map ``Qs[l]`` to ``ys[l]`` in place.
 
         ``seeds[l]`` drives leaf ``l``'s batch shuffling (defaults to the
-        config seed for every leaf). Returns a :class:`StackedTrainResult`.
+        config seed for every leaf). ``frozen`` is an optional boolean mask
+        over leaf slots: a slot marked frozen enters the early-stopping
+        freeze state *before* epoch 0, so it never trains and leaves with
+        its initial weights intact (its history stays empty). The streaming
+        maintenance path uses this to carry clean leaves through a retrain
+        batch while only dirty slots step. Returns a
+        :class:`StackedTrainResult`.
         """
         cfg = self.config
         L = len(models)
@@ -416,7 +423,12 @@ class StackedTrainer:
         best_loss = np.full(L, np.inf)
         best_params = [p.copy() for p in params]
         stall = np.zeros(L, dtype=np.int64)
-        frozen = np.zeros(L, dtype=bool)
+        if frozen is None:
+            frozen = np.zeros(L, dtype=bool)
+        else:
+            frozen = np.array(frozen, dtype=bool).ravel()
+            if frozen.shape != (L,):
+                raise ValueError("frozen mask needs one entry per model")
         histories: list[list[float]] = [[] for _ in range(L)]
         perm = np.zeros((L, n_max), dtype=np.int64)
 

@@ -25,11 +25,12 @@ from repro.serve.router import (
     start_router_thread,
 )
 from repro.serve.server import ServerHandle, SketchServer, start_server_thread
-from repro.serve.service import SketchService, load_sketch
+from repro.serve.service import ImmutableSketchError, SketchService, load_sketch
 
 __all__ = [
     "AnswerCache",
     "Client",
+    "ImmutableSketchError",
     "MicroBatcher",
     "RouterHandle",
     "ServerError",

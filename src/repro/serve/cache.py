@@ -56,6 +56,7 @@ class AnswerCache:
         self.exact = bool(exact)
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
         self._lock = threading.Lock()
         self._data: OrderedDict[bytes, float] = OrderedDict()
 
@@ -107,6 +108,64 @@ class AnswerCache:
             self._data.clear()
             self.hits = 0
             self.misses = 0
+            self.invalidations = 0
+
+    def invalidate_region(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        namespace: bytes = b"",
+        dim: int | None = None,
+    ) -> int:
+        """Evict every entry whose query may fall inside the given boxes.
+
+        ``lo``/``hi`` are ``(k, d)`` (or ``(d,)``) arrays of query-space
+        boxes — in the streaming path, the bounding boxes of the kd-tree
+        leaves a data mutation dirtied. Eviction is *conservative over the
+        quantized grid*: a quantized key stands for its whole grid cell
+        (half a ``resolution`` step each way), so any cell that intersects
+        a box goes, which is exactly what makes a query straddling a dirty
+        leaf boundary miss afterwards. Exact-bytes keys are compared as
+        points. Only entries under ``namespace`` whose dimensionality
+        matches the boxes are touched (a shared cache holds other sketches'
+        keys too — and, under the empty namespace, other widths' keys).
+        Returns the eviction count; ``stats()["invalidations"]`` accumulates
+        it.
+        """
+        lo = np.atleast_2d(np.asarray(lo, dtype=np.float64))
+        hi = np.atleast_2d(np.asarray(hi, dtype=np.float64))
+        if lo.shape != hi.shape or lo.ndim != 2:
+            raise ValueError("lo and hi must be matching (k, d) box arrays")
+        if dim is None:
+            dim = lo.shape[1]
+        elif dim != lo.shape[1]:
+            raise ValueError(f"boxes have dim {lo.shape[1]}, expected {dim}")
+        if lo.shape[0] == 0:
+            return 0
+        half = 0.5 * self.resolution
+        qlo = lo - half
+        qhi = hi + half
+        nslen = len(namespace)
+        itemsize = 8 * dim
+        with self._lock:
+            doomed: list[bytes] = []
+            for key in self._data:
+                if not key.startswith(namespace) or len(key) != nslen + 1 + itemsize:
+                    continue
+                mode = key[nslen : nslen + 1]
+                payload = key[nslen + 1 :]
+                if mode == b"q":
+                    q = np.frombuffer(payload, dtype=np.int64) * self.resolution
+                    if np.any(np.all((q >= qlo) & (q <= qhi), axis=1)):
+                        doomed.append(key)
+                elif mode == b"x":
+                    q = np.frombuffer(payload, dtype=np.float64)
+                    if np.any(np.all((q >= lo) & (q <= hi), axis=1)):
+                        doomed.append(key)
+            for key in doomed:
+                del self._data[key]
+            self.invalidations += len(doomed)
+            return len(doomed)
 
     def stats(self) -> dict:
         with self._lock:
@@ -114,6 +173,7 @@ class AnswerCache:
                 "entries": len(self._data),
                 "hits": self.hits,
                 "misses": self.misses,
+                "invalidations": self.invalidations,
                 "resolution": self.resolution,
                 "exact": self.exact,
                 "max_entries": self.max_entries,

@@ -29,7 +29,11 @@ from repro.serve import protocol
 from repro.serve.protocol import (
     BatchQueryRequest,
     BatchQueryResponse,
+    EpochRequest,
+    EpochResponse,
     ErrorResponse,
+    IngestRequest,
+    IngestResponse,
     ProtocolError,
     QueryRequest,
     QueryResponse,
@@ -188,6 +192,41 @@ class Client:
             return np.asarray([by_id[i] for i in ids], dtype=np.float64)
         except KeyError as exc:
             raise ProtocolError(f"server never answered request id {exc.args[0]!r}") from None
+
+    def ingest(
+        self,
+        rows=None,
+        delete: tuple | None = None,
+        sketch: str | None = None,
+    ) -> dict:
+        """Mutate a streaming sketch: append raw ``rows`` and/or ``delete``
+        a raw-space ``(lo, hi)`` box. Returns the server's ingest summary
+        (appended/deleted counts, dirty/retrained leaves, epoch)."""
+        wire_rows: tuple[tuple[float, ...], ...] = ()
+        if rows is not None:
+            R = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+            wire_rows = tuple(tuple(float(x) for x in row) for row in R)
+        wire_delete = None
+        if delete is not None:
+            lo, hi = delete
+            wire_delete = (
+                tuple(float(x) for x in np.asarray(lo, dtype=np.float64).ravel()),
+                tuple(float(x) for x in np.asarray(hi, dtype=np.float64).ravel()),
+            )
+        request = IngestRequest(
+            rows=wire_rows, delete=wire_delete, id=self._fresh_id(), sketch=sketch
+        )
+        response = self._roundtrip(request)
+        if not isinstance(response, IngestResponse):
+            raise ProtocolError(f"expected an ingest response, got {response!r}")
+        return response.ingest
+
+    def epoch(self, sketch: str | None = None) -> tuple[int, int]:
+        """The sketch's current ``(epoch, data_version)`` pair."""
+        response = self._roundtrip(EpochRequest(id=self._fresh_id(), sketch=sketch))
+        if not isinstance(response, EpochResponse):
+            raise ProtocolError(f"expected an epoch response, got {response!r}")
+        return response.epoch, response.data_version
 
     def stats(self, sketch: str | None = None) -> dict:
         """The server-side counters for one sketch (batcher/cache/engine/server)."""

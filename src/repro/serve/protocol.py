@@ -13,13 +13,26 @@ Requests (client -> server)::
     {"v": 1, "op": "query", "id": 7, "sketch": "pm25-avg", "q": [0.1, 0.2]}
     {"v": 1, "op": "batch", "id": 8, "q": [[0.1, 0.2], [0.3, 0.4]]}
     {"v": 1, "op": "stats", "id": 9}
+    {"v": 1, "op": "ingest", "id": 10, "rows": [[12.5, 40.2, 88.0]]}
+    {"v": 1, "op": "ingest", "id": 11, "delete": {"lo": [0, 0, 0], "hi": [1, 1, 1]}}
+    {"v": 1, "op": "epoch", "id": 12}
 
 Responses (server -> client)::
 
     {"v": 1, "ok": true, "id": 7, "answer": 1.25, "cached": false, "sketch": "pm25-avg"}
     {"v": 1, "ok": true, "id": 8, "answers": [1.25, 0.75]}
     {"v": 1, "ok": true, "id": 9, "stats": {...}}
+    {"v": 1, "ok": true, "id": 10, "ingest": {"appended": 1, "swapped": true, ...}}
+    {"v": 1, "ok": true, "id": 12, "epoch": 3, "data_version": 7}
     {"v": 1, "ok": false, "id": 7, "error": "...", "code": "bad-request"}
+
+``ingest`` mutates a *mutable* sketch (one served with streaming state —
+see :mod:`repro.stream`): ``rows`` appends raw-unit rows, ``delete``
+tombstones the raw-space box ``[lo, hi)``; a frame may carry either or
+both (append applies first). Servers started without ``--mutable`` answer
+ingest frames with the ``immutable`` error code. ``epoch`` reads the
+sketch's current model epoch/data version without mutating anything —
+clients poll it to detect a completed hot-swap.
 
 ``id`` is an opaque client token echoed back verbatim (any JSON scalar);
 ``sketch`` picks a registered sketch by name (``null``/absent = the
@@ -60,6 +73,7 @@ ERROR_CODES = (
     "oversized",            # line exceeded the server's byte bound
     "unsupported-version",  # request declared a protocol version we don't speak
     "unknown-sketch",       # named a sketch the service has not registered
+    "immutable",            # ingest sent to a sketch/server without mutation support
     "timeout",              # the answer missed the per-request deadline
     "shutting-down",        # server is draining; request was not accepted
     "internal",             # the sketch itself raised
@@ -135,6 +149,52 @@ class StatsRequest:
         return out
 
 
+@dataclass(frozen=True)
+class IngestRequest:
+    """Mutate a streaming sketch: append raw rows and/or delete a raw box.
+
+    ``rows`` are raw-unit data rows (one per append); ``delete`` is a
+    ``(lo, hi)`` pair of raw-unit bounds tombstoning every live row inside
+    ``[lo, hi)``. At least one of the two must be present; when both are,
+    the append applies first.
+    """
+
+    rows: tuple[tuple[float, ...], ...] = ()
+    delete: tuple[tuple[float, ...], tuple[float, ...]] | None = None
+    id: object = None
+    sketch: str | None = None
+    protocol_version: int = PROTOCOL_VERSION
+
+    def to_wire(self) -> dict:
+        out: dict = {"v": self.protocol_version, "op": "ingest"}
+        if self.rows:
+            out["rows"] = [list(row) for row in self.rows]
+        if self.delete is not None:
+            out["delete"] = {"lo": list(self.delete[0]), "hi": list(self.delete[1])}
+        if self.id is not None:
+            out["id"] = self.id
+        if self.sketch is not None:
+            out["sketch"] = self.sketch
+        return out
+
+
+@dataclass(frozen=True)
+class EpochRequest:
+    """Read a sketch's current model epoch and data version (no mutation)."""
+
+    id: object = None
+    sketch: str | None = None
+    protocol_version: int = PROTOCOL_VERSION
+
+    def to_wire(self) -> dict:
+        out: dict = {"v": self.protocol_version, "op": "epoch"}
+        if self.id is not None:
+            out["id"] = self.id
+        if self.sketch is not None:
+            out["sketch"] = self.sketch
+        return out
+
+
 # ------------------------------------------------------------------- responses
 
 
@@ -190,6 +250,46 @@ class StatsResponse:
 
 
 @dataclass(frozen=True)
+class IngestResponse:
+    """What one ingest frame did (the ``IngestResult.to_dict()`` payload)."""
+
+    ingest: dict = field(default_factory=dict)
+    id: object = None
+    sketch: str | None = None
+    protocol_version: int = PROTOCOL_VERSION
+
+    def to_wire(self) -> dict:
+        out = {"v": self.protocol_version, "ok": True, "ingest": self.ingest}
+        if self.id is not None:
+            out["id"] = self.id
+        if self.sketch is not None:
+            out["sketch"] = self.sketch
+        return out
+
+
+@dataclass(frozen=True)
+class EpochResponse:
+    epoch: int = 0
+    data_version: int = 0
+    id: object = None
+    sketch: str | None = None
+    protocol_version: int = PROTOCOL_VERSION
+
+    def to_wire(self) -> dict:
+        out = {
+            "v": self.protocol_version,
+            "ok": True,
+            "epoch": self.epoch,
+            "data_version": self.data_version,
+        }
+        if self.id is not None:
+            out["id"] = self.id
+        if self.sketch is not None:
+            out["sketch"] = self.sketch
+        return out
+
+
+@dataclass(frozen=True)
 class ErrorResponse:
     """The structured error envelope (``code`` is one of ``ERROR_CODES``)."""
 
@@ -210,8 +310,15 @@ class ErrorResponse:
         return out
 
 
-Request = QueryRequest | BatchQueryRequest | StatsRequest
-Response = QueryResponse | BatchQueryResponse | StatsResponse | ErrorResponse
+Request = QueryRequest | BatchQueryRequest | StatsRequest | IngestRequest | EpochRequest
+Response = (
+    QueryResponse
+    | BatchQueryResponse
+    | StatsResponse
+    | IngestResponse
+    | EpochResponse
+    | ErrorResponse
+)
 
 
 # -------------------------------------------------------------- encode/decode
@@ -244,6 +351,25 @@ def encode_safe(response: "Response") -> str:
                 id=getattr(response, "id", None),
             )
         )
+
+
+def is_ingest_frame(line: bytes) -> bool:
+    """Cheaply decide whether a raw frame is an ingest request.
+
+    The router (which never parses frames on the query hot path) uses this
+    to divert mutations onto the broadcast path: a quick substring test
+    rejects almost every query frame without a parse, and only candidates
+    pay the JSON confirmation. Invalid JSON answers ``False`` — the frame
+    then takes the normal path and earns its ``bad-json`` error from a
+    worker.
+    """
+    if b'"ingest"' not in line:
+        return False
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return False
+    return isinstance(payload, dict) and payload.get("op") == "ingest"
 
 
 def check_line_size(line: str | bytes, max_bytes: int = MAX_LINE_BYTES) -> None:
@@ -326,8 +452,14 @@ def decode_request(line: str | bytes) -> Request:
     sketch = _sketch_name(payload)
     if op == "stats":
         return StatsRequest(id=rid, sketch=sketch, protocol_version=v)
+    if op == "epoch":
+        return EpochRequest(id=rid, sketch=sketch, protocol_version=v)
+    if op == "ingest":
+        return _decode_ingest(payload, rid, sketch, v)
     if op not in ("query", "batch"):
-        raise ProtocolError(f"unknown op {op!r} (expected query, batch or stats)")
+        raise ProtocolError(
+            f"unknown op {op!r} (expected query, batch, stats, ingest or epoch)"
+        )
     raw_q = payload.get("q")
     if raw_q is None:
         raise ProtocolError("request is missing its query vector 'q'")
@@ -342,6 +474,30 @@ def decode_request(line: str | bytes) -> Request:
             raise ProtocolError(f"batch rows must share one dimension, got {sorted(widths)}")
         return BatchQueryRequest(q=block, id=rid, sketch=sketch, protocol_version=v)
     return QueryRequest(q=_finite_vector(raw_q, "q"), id=rid, sketch=sketch, protocol_version=v)
+
+
+def _decode_ingest(payload: dict, rid: object, sketch: str | None, v: int) -> "IngestRequest":
+    raw_rows = payload.get("rows")
+    raw_delete = payload.get("delete")
+    if raw_rows is None and raw_delete is None:
+        raise ProtocolError("ingest request must carry 'rows' and/or 'delete'")
+    rows: tuple[tuple[float, ...], ...] = ()
+    if raw_rows is not None:
+        if not isinstance(raw_rows, (list, tuple)) or not raw_rows:
+            raise ProtocolError("rows must be a non-empty array of data rows")
+        rows = tuple(_finite_vector(row, f"rows[{i}]") for i, row in enumerate(raw_rows))
+        if len({len(row) for row in rows}) != 1:
+            raise ProtocolError("ingest rows must share one width")
+    delete: tuple[tuple[float, ...], tuple[float, ...]] | None = None
+    if raw_delete is not None:
+        if not isinstance(raw_delete, dict):
+            raise ProtocolError("delete must be an object with 'lo' and 'hi' bounds")
+        lo = _finite_vector(raw_delete.get("lo"), "delete.lo")
+        hi = _finite_vector(raw_delete.get("hi"), "delete.hi")
+        if len(lo) != len(hi):
+            raise ProtocolError("delete bounds must share one width")
+        delete = (lo, hi)
+    return IngestRequest(rows=rows, delete=delete, id=rid, sketch=sketch, protocol_version=v)
 
 
 def decode_response(line: str | bytes) -> Response:
@@ -394,4 +550,24 @@ def decode_response(line: str | bytes) -> Response:
         if not isinstance(stats, dict):
             raise ProtocolError(f"stats must be an object, got {stats!r}")
         return StatsResponse(stats=stats, id=rid, protocol_version=v)
-    raise ProtocolError("response carries none of answer/answers/stats")
+    if "ingest" in payload:
+        ingest = payload["ingest"]
+        if not isinstance(ingest, dict):
+            raise ProtocolError(f"ingest must be an object, got {ingest!r}")
+        return IngestResponse(
+            ingest=ingest, id=rid, sketch=_sketch_name(payload), protocol_version=v
+        )
+    if "epoch" in payload:
+        epoch = payload["epoch"]
+        version = payload.get("data_version", 0)
+        for name, value in (("epoch", epoch), ("data_version", version)):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ProtocolError(f"{name} must be an integer, got {value!r}")
+        return EpochResponse(
+            epoch=epoch,
+            data_version=version,
+            id=rid,
+            sketch=_sketch_name(payload),
+            protocol_version=v,
+        )
+    raise ProtocolError("response carries none of answer/answers/stats/ingest/epoch")

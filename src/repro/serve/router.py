@@ -31,6 +31,11 @@ Semantics:
 - **Oversized / draining** — handled at the router with the same
   structured error frames as the single-process server, delivered in
   order like any other response.
+- **Ingest broadcast** — an ``op: ingest`` frame (each shard holds its
+  own sketch copy) is fanned out to *every* alive worker and logged; the
+  client gets one response once all copies answer. A respawned worker
+  replays the log before taking traffic, so deterministic retraining
+  brings it back to the exact weights of the surviving shards.
 
 Workers are spawned via ``sys.executable -m repro.serve.worker`` with an
 artifact path; :func:`prepare_worker_artifact` spills a loaded sketch to
@@ -99,6 +104,26 @@ class _Conn:
         return seq
 
 
+class _Broadcast:
+    """One ingest frame fanned out to every alive worker.
+
+    Each worker's rid maps to the same ``_Broadcast``; the client gets
+    exactly one response once every copy has been answered (preferring a
+    success frame, so one crashed shard doesn't mask the applied
+    mutation). Replayed log entries use ``conn=None`` — apply, answer,
+    discard.
+    """
+
+    __slots__ = ("conn", "seq", "remaining", "payload", "done")
+
+    def __init__(self, conn: "_Conn | None", seq: int, remaining: int) -> None:
+        self.conn = conn
+        self.seq = seq
+        self.remaining = remaining
+        self.payload: bytes | None = None
+        self.done = False
+
+
 class _Worker:
     """One shard process: pipes, pending routing table, lifecycle bits."""
 
@@ -120,8 +145,9 @@ class _Worker:
         self.stdin: asyncio.StreamWriter | None = None
         self.stdout: asyncio.StreamReader | None = None
         self.alive = False
-        #: rid -> (conn, seq, frame) for every frame awaiting this worker.
-        self.pending: dict[int, tuple[_Conn, int, bytes]] = {}
+        #: rid -> (conn, seq, frame), or a shared ``_Broadcast`` for
+        #: fanned-out ingest frames, for every frame awaiting this worker.
+        self.pending: dict[int, tuple[_Conn, int, bytes] | _Broadcast] = {}
         self.n_restarts = 0
         self.n_forwarded = 0
         self.reader_task: asyncio.Task | None = None
@@ -177,6 +203,11 @@ class SketchRouter:
         self._rr = 0
         self._rid = 0
         self._orphans: list[tuple[_Conn, int, bytes]] = []
+        #: Every ingest frame ever broadcast, in order. A respawned worker
+        #: reloads the original artifact, so the log replays into it before
+        #: any traffic — deterministic retraining brings it back to the
+        #: exact weights of the surviving shards.
+        self._ingest_log: list[bytes] = []
         self._conns: set[_Conn] = set()
         self._conn_tasks: set[asyncio.Task] = set()
         self._restart_tasks: set[asyncio.Task] = set()
@@ -187,6 +218,7 @@ class SketchRouter:
         self.n_requests = 0
         self.n_local_errors = 0
         self.n_redispatched = 0
+        self.n_ingests = 0
 
     # ------------------------------------------------------------- lifecycle
 
@@ -259,6 +291,11 @@ class SketchRouter:
         w.stdout = reader
         w.alive = True
         w.reader_task = asyncio.ensure_future(self._read_worker(w))
+        # Catch the (re)booted worker up on every mutation it missed: it
+        # loaded the original artifact, and ingests apply deterministically,
+        # so replaying the log in order reproduces the fleet's exact state.
+        for frame in self._ingest_log:
+            self._dispatch_entry(w, _Broadcast(None, 0, 1), frame)
         self._flush_orphans(w)
 
     async def stop(self, drain: bool = True) -> None:
@@ -324,6 +361,8 @@ class SketchRouter:
             "requests": self.n_requests,
             "local_errors": self.n_local_errors,
             "redispatched": self.n_redispatched,
+            "ingests": self.n_ingests,
+            "ingest_log": len(self._ingest_log),
             "orphaned": len(self._orphans),
             "workers": [
                 {
@@ -412,6 +451,9 @@ class SketchRouter:
         return None
 
     async def _forward(self, conn: _Conn, seq: int, frame: bytes) -> None:
+        if protocol.is_ingest_frame(frame):
+            await self._broadcast(conn, seq, frame)
+            return
         w = self._pick_worker()
         if w is None:
             # Every worker is down (all restarting): park the frame; the
@@ -424,10 +466,40 @@ class SketchRouter:
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass  # the reader task handles the death; frame is re-dispatched
 
+    async def _broadcast(self, conn: _Conn, seq: int, frame: bytes) -> None:
+        """Fan one ingest frame out to every alive worker.
+
+        Every shard holds its own sketch copy, so a mutation must reach
+        all of them; deterministic retraining keeps the copies
+        bit-identical. The client's response is delivered once every copy
+        answers.
+        """
+        alive = [w for w in self._workers if w.alive]
+        if not alive:
+            self._orphans.append((conn, seq, frame))
+            return
+        self.n_ingests += 1
+        self._ingest_log.append(frame)
+        bc = _Broadcast(conn, seq, len(alive))
+        for w in alive:
+            self._dispatch_entry(w, bc, frame)
+        for w in alive:
+            if w.stdin is None:
+                continue
+            try:
+                await w.stdin.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
     def _dispatch(self, w: _Worker, conn: _Conn, seq: int, frame: bytes) -> None:
+        self._dispatch_entry(w, (conn, seq, frame), frame)
+
+    def _dispatch_entry(
+        self, w: _Worker, entry: tuple[_Conn, int, bytes] | _Broadcast, frame: bytes
+    ) -> None:
         self._rid += 1
         rid = self._rid
-        w.pending[rid] = (conn, seq, frame)
+        w.pending[rid] = entry
         w.n_forwarded += 1
         w.stdin.write(b"%d\t%s\n" % (rid, frame))
 
@@ -436,7 +508,14 @@ class SketchRouter:
         for conn, seq, frame in orphans:
             if conn.closed:
                 continue
-            self._dispatch(w, conn, seq, frame)
+            if protocol.is_ingest_frame(frame):
+                # Orphans only accumulate while every worker is down, so
+                # this one worker *is* the whole alive fleet; the log entry
+                # catches the others up when they respawn.
+                self._ingest_log.append(frame)
+                self._dispatch_entry(w, _Broadcast(conn, seq, 1), frame)
+            else:
+                self._dispatch(w, conn, seq, frame)
 
     # ------------------------------------------------------- worker side
 
@@ -460,9 +539,45 @@ class SketchRouter:
                 continue
             entry = w.pending.pop(rid, None)
             if entry is not None:
-                conn, seq, _ = entry
-                self._deliver(conn, seq, payload if payload.endswith(b"\n") else payload + b"\n")
+                line_out = payload if payload.endswith(b"\n") else payload + b"\n"
+                if isinstance(entry, _Broadcast):
+                    self._broadcast_reply(entry, line_out)
+                else:
+                    conn, seq, _ = entry
+                    self._deliver(conn, seq, line_out)
         await self._on_worker_death(w)
+
+    def _broadcast_reply(self, bc: _Broadcast, payload: bytes) -> None:
+        bc.remaining -= 1
+        # Prefer a success frame: one crashed/failed shard must not mask a
+        # mutation the surviving shards applied (the crashed one re-applies
+        # it from the log on respawn).
+        if bc.payload is None or (
+            b'"ok":true' in payload and b'"ok":true' not in bc.payload
+        ):
+            bc.payload = payload
+        if bc.remaining <= 0 and not bc.done:
+            bc.done = True
+            if bc.conn is not None:
+                self._deliver(bc.conn, bc.seq, bc.payload)
+
+    def _broadcast_abort(self, bc: _Broadcast) -> None:
+        """One dispatched copy of a broadcast died unanswered."""
+        bc.remaining -= 1
+        if bc.remaining <= 0 and not bc.done:
+            bc.done = True
+            if bc.conn is None:
+                return
+            if bc.payload is not None:
+                self._deliver(bc.conn, bc.seq, bc.payload)
+            else:
+                self._local_error(
+                    bc.conn,
+                    bc.seq,
+                    "every worker died mid-ingest; the mutation is logged and "
+                    "replays when a worker restarts",
+                    code="internal",
+                )
 
     async def _on_worker_death(self, w: _Worker) -> None:
         w.alive = False
@@ -475,12 +590,21 @@ class SketchRouter:
         pending, w.pending = w.pending, {}
         if self._stopped:
             for rid, entry in pending.items():
-                self._orphans.append(entry)
+                if isinstance(entry, _Broadcast):
+                    self._broadcast_abort(entry)
+                else:
+                    self._orphans.append(entry)
             return
         if pending:
-            # Unanswered frames move to surviving shards: range-aggregate
-            # queries are pure reads, so at-least-once execution is safe.
-            for conn, seq, frame in pending.values():
+            # Unanswered query frames move to surviving shards (pure reads,
+            # so at-least-once is safe). A broadcast copy is NOT
+            # re-dispatched — the other shards already hold their own
+            # copies, and the respawned worker re-applies it from the log.
+            for entry in pending.values():
+                if isinstance(entry, _Broadcast):
+                    self._broadcast_abort(entry)
+                    continue
+                conn, seq, frame = entry
                 if conn.closed:
                     continue
                 self.n_redispatched += 1
@@ -544,14 +668,18 @@ class SketchRouter:
         self._deliver(conn, seq, line.encode("utf-8") + b"\n")
 
     def _fail_pending(self, message: str, include_orphans: bool, workers) -> None:
-        entries: list[tuple[_Conn, int, bytes]] = []
+        entries: list[tuple[_Conn, int, bytes] | _Broadcast] = []
         for w in workers:
             entries.extend(w.pending.values())
             w.pending.clear()
         if include_orphans:
             entries.extend(self._orphans)
             self._orphans = []
-        for conn, seq, _frame in entries:
+        for entry in entries:
+            if isinstance(entry, _Broadcast):
+                self._broadcast_abort(entry)
+                continue
+            conn, seq, _frame = entry
             if not conn.closed:
                 self._local_error(conn, seq, message, code="shutting-down")
 

@@ -39,7 +39,11 @@ from repro.serve import protocol
 from repro.serve.protocol import (
     BatchQueryRequest,
     BatchQueryResponse,
+    EpochRequest,
+    EpochResponse,
     ErrorResponse,
+    IngestRequest,
+    IngestResponse,
     ProtocolError,
     QueryRequest,
     QueryResponse,
@@ -48,7 +52,7 @@ from repro.serve.protocol import (
     StatsRequest,
     StatsResponse,
 )
-from repro.serve.service import SketchService
+from repro.serve.service import ImmutableSketchError, SketchService
 
 
 class SketchServer:
@@ -259,6 +263,8 @@ class SketchServer:
         except KeyError as exc:
             message = exc.args[0] if exc.args else str(exc)
             response = ErrorResponse(error=str(message), code="unknown-sketch", id=rid)
+        except ImmutableSketchError as exc:
+            response = ErrorResponse(error=str(exc), code="immutable", id=rid)
         except (TimeoutError, asyncio.TimeoutError):
             response = ErrorResponse(
                 error=f"request missed the {self.request_timeout_s}s deadline",
@@ -283,6 +289,26 @@ class SketchServer:
             )
             stats["server"] = self.server_stats()
             return StatsResponse(stats=stats, id=request.id)
+        if isinstance(request, EpochRequest):
+            info = self.service.epoch_info(request.sketch)
+            return EpochResponse(
+                epoch=info["epoch"],
+                data_version=info["data_version"],
+                id=request.id,
+                sketch=request.sketch,
+            )
+        if isinstance(request, IngestRequest):
+            # No deadline: a retraining ingest may legitimately outlive the
+            # per-query timeout, and abandoning it midway would leave the
+            # client unsure whether the mutation landed.
+            summary = await loop.run_in_executor(
+                self._executor,
+                self.service.ingest,
+                list(request.rows) if request.rows else None,
+                request.delete,
+                request.sketch,
+            )
+            return IngestResponse(ingest=summary, id=request.id, sketch=request.sketch)
         if isinstance(request, BatchQueryRequest):
             Q = np.asarray(request.q, dtype=np.float64)
             answers = await asyncio.wait_for(

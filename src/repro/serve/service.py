@@ -32,13 +32,20 @@ from repro.serve.batching import MicroBatcher
 from repro.serve.cache import AnswerCache
 
 
+class ImmutableSketchError(RuntimeError):
+    """An ingest was sent to a service or sketch without mutation support."""
+
+
 def load_sketch(path: str, dtype: str | None = None):
     """Load a saved sketch artifact into its servable form.
 
-    Accepts both artifact formats and always returns an object with a
+    Accepts every artifact format and always returns an object with a
     batched ``predict``: a ``compiled-sketch-v1`` payload loads straight
     into :class:`~repro.core.compiled.CompiledSketch`; a ``NeuroSketch``
-    payload is loaded and compiled.
+    payload is loaded and compiled; a ``.npz`` path loads the binary spill
+    (:meth:`~repro.core.compiled.CompiledSketch.load_npz`) or, when it is
+    a stream bundle, the mutable
+    :class:`~repro.stream.sketch.StreamingSketch`.
 
     ``dtype`` picks the compiled engine's execution tier. ``None`` keeps
     the artifact's own recorded tier (``float64`` for payloads predating
@@ -49,6 +56,12 @@ def load_sketch(path: str, dtype: str | None = None):
     from repro.core.compiled import CompiledSketch
     from repro.core.neurosketch import NeuroSketch
 
+    if path.endswith(".npz"):
+        from repro.stream.sketch import is_stream_bundle, load_stream_sketch
+
+        if is_stream_bundle(path):
+            return load_stream_sketch(path, serving_dtype=dtype)
+        return CompiledSketch.load_npz(path, dtype=dtype)
     with gzip.open(path, "rt", encoding="utf-8") as fh:
         state = json.load(fh)
     if not isinstance(state, dict):
@@ -115,6 +128,11 @@ class SketchService:
         pool, so N workers mean up to N predicts genuinely in parallel;
         registration raises the engine's ``max_replicas`` to at least this
         many so the workers never starve.
+    allow_mutations:
+        ``True`` lets :meth:`ingest` mutate registered streaming sketches
+        (what ``repro serve --mutable`` sets). The default ``False``
+        answers every ingest with :class:`ImmutableSketchError` so a
+        read-only deployment cannot be mutated over the wire.
     """
 
     def __init__(
@@ -127,6 +145,7 @@ class SketchService:
         cache_exact: bool = False,
         infer_dtype: str | None = None,
         workers: int = 1,
+        allow_mutations: bool = False,
     ) -> None:
         if infer_dtype is not None:
             from repro.core.compiled import resolve_dtype
@@ -137,6 +156,7 @@ class SketchService:
         self.max_batch_size = int(max_batch_size)
         self.max_delay_s = float(max_delay_s)
         self.workers = int(workers)
+        self.allow_mutations = bool(allow_mutations)
         self.infer_dtype = infer_dtype
         self._cache_spec = cache
         self._cache_resolution = float(cache_resolution)
@@ -291,6 +311,87 @@ class SketchService:
                 entry.cache.put(Q[row], answers[i], entry.cache_ns)
         return out
 
+    # ------------------------------------------------------------- mutations
+
+    def ingest(
+        self,
+        rows=None,
+        delete: tuple | None = None,
+        sketch: str | None = None,
+    ) -> dict:
+        """Apply appends/deletes to a streaming sketch; returns a summary.
+
+        ``rows`` are raw-unit data rows to append; ``delete`` is a
+        ``(lo, hi)`` raw-unit box tombstoning live rows in ``[lo, hi)``
+        (append applies first when both are given). Pending micro-batches
+        are flushed before the mutation, so every answer computed before
+        this call reflects pre-mutation data; the mutation itself runs
+        under the sketch's own lock while serving continues on the old
+        epoch until the hot-swap lands. Cached answers whose quantized
+        query cells intersect a dirty leaf's query-space box are evicted
+        from every registered entry sharing this sketch's stream state
+        (each dtype-tier view included).
+        """
+        entry = self._entry(sketch)
+        target = entry.sketch
+        if not self.allow_mutations:
+            raise ImmutableSketchError(
+                "service does not accept mutations (start it with allow_mutations=True)"
+            )
+        if not callable(getattr(target, "append", None)):
+            raise ImmutableSketchError(f"sketch {entry.name!r} is not a streaming sketch")
+        if rows is None and delete is None:
+            raise ValueError("ingest needs rows to append and/or delete bounds")
+        self.flush()
+        results = []
+        if rows is not None:
+            results.append(target.append(np.asarray(rows, dtype=np.float64)))
+        if delete is not None:
+            lo, hi = delete
+            results.append(
+                target.delete(
+                    np.asarray(lo, dtype=np.float64), np.asarray(hi, dtype=np.float64)
+                )
+            )
+        evicted = self._invalidate_dirty(target, results)
+        return {
+            "op": "+".join(r.op for r in results),
+            "appended": sum(r.appended for r in results),
+            "deleted": sum(r.deleted for r in results),
+            "dirty_leaves": sorted({l for r in results for l in r.dirty_leaves}),
+            "retrained_leaves": sorted({l for r in results for l in r.retrained_leaves}),
+            "swapped": any(r.swapped for r in results),
+            "epoch": results[-1].epoch,
+            "data_version": results[-1].data_version,
+            "cache_evictions": evicted,
+        }
+
+    def _invalidate_dirty(self, target, results) -> int:
+        """Evict cached answers reachable from the dirty leaves' boxes."""
+        mut = getattr(target, "_mut", None)
+        evicted = 0
+        for e in self._entries.values():
+            if e.cache is None or getattr(e.sketch, "_mut", None) is not mut:
+                continue
+            for r in results:
+                if r.dirty_lo.shape[0]:
+                    evicted += e.cache.invalidate_region(
+                        r.dirty_lo, r.dirty_hi, namespace=e.cache_ns
+                    )
+        return evicted
+
+    def epoch_info(self, sketch: str | None = None) -> dict:
+        """Current model epoch / data version of one sketch.
+
+        Immutable sketches never swap, so they report their engine's swap
+        counter (0 for a plain estimator) and data version 0.
+        """
+        entry = self._entry(sketch)
+        return {
+            "epoch": int(getattr(entry.sketch, "epoch", 0)),
+            "data_version": int(getattr(entry.sketch, "data_version", 0)),
+        }
+
     # ------------------------------------------------------------- lifecycle
 
     def flush(self) -> None:
@@ -309,6 +410,11 @@ class SketchService:
         replica_stats = getattr(entry.sketch, "replica_stats", None)
         if callable(replica_stats):
             out["engine"] = replica_stats()
+        if callable(getattr(entry.sketch, "append", None)):
+            out["mutable"] = self.allow_mutations
+            stream_stats = getattr(entry.sketch, "stats", None)
+            if callable(stream_stats):
+                out["stream"] = stream_stats()
         return out
 
     def close(self) -> None:

@@ -54,6 +54,8 @@ def answer_frame(service, raw_line, max_line_bytes: int, timeout_s: float):
     and the sharding worker; both speak only :mod:`repro.serve.protocol`
     dataclasses.
     """
+    from repro.serve.service import ImmutableSketchError
+
     rid = None
     try:
         protocol.check_line_size(raw_line, max_line_bytes)
@@ -61,6 +63,21 @@ def answer_frame(service, raw_line, max_line_bytes: int, timeout_s: float):
         rid = request.id
         if isinstance(request, protocol.StatsRequest):
             return protocol.StatsResponse(stats=service.stats(request.sketch), id=rid)
+        if isinstance(request, protocol.EpochRequest):
+            info = service.epoch_info(request.sketch)
+            return protocol.EpochResponse(
+                epoch=info["epoch"],
+                data_version=info["data_version"],
+                id=rid,
+                sketch=request.sketch,
+            )
+        if isinstance(request, protocol.IngestRequest):
+            summary = service.ingest(
+                rows=list(request.rows) if request.rows else None,
+                delete=request.delete,
+                sketch=request.sketch,
+            )
+            return protocol.IngestResponse(ingest=summary, id=rid, sketch=request.sketch)
         if isinstance(request, protocol.BatchQueryRequest):
             answers = service.ask_many(
                 np.asarray(request.q, dtype=np.float64), request.sketch
@@ -81,6 +98,8 @@ def answer_frame(service, raw_line, max_line_bytes: int, timeout_s: float):
     except KeyError as exc:
         message = exc.args[0] if exc.args else str(exc)
         return protocol.ErrorResponse(error=str(message), code="unknown-sketch", id=rid)
+    except ImmutableSketchError as exc:
+        return protocol.ErrorResponse(error=str(exc), code="immutable", id=rid)
     except TimeoutError:
         return protocol.ErrorResponse(
             error=f"request missed the {timeout_s}s deadline", code="timeout", id=rid
@@ -96,10 +115,15 @@ def load_worker_sketch(path: str, dtype: str | None = None):
 
     ``.npz`` spills load through
     :meth:`~repro.core.compiled.CompiledSketch.load_npz` (milliseconds, no
-    JSON number parsing); anything else goes through the regular
-    :func:`~repro.serve.service.load_sketch`.
+    JSON number parsing); stream bundles rebuild the full mutable
+    :class:`~repro.stream.sketch.StreamingSketch`; anything else goes
+    through the regular :func:`~repro.serve.service.load_sketch`.
     """
     if path.endswith(".npz"):
+        from repro.stream.sketch import is_stream_bundle, load_stream_sketch
+
+        if is_stream_bundle(path):
+            return load_stream_sketch(path, serving_dtype=dtype)
         from repro.core.compiled import CompiledSketch
 
         return CompiledSketch.load_npz(path, dtype=dtype)
@@ -125,6 +149,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-exact", action="store_true")
     parser.add_argument("--max-line-bytes", type=int, default=protocol.MAX_LINE_BYTES)
     parser.add_argument("--request-timeout-s", type=float, default=30.0)
+    parser.add_argument("--mutable", action="store_true",
+                        help="accept ingest frames (the artifact must be a "
+                             "stream bundle)")
     parser.add_argument("--register-tiers", action="store_true",
                         help="also register the sketch per dtype tier under the "
                              "tier's name (float32/float64) — the parity bench "
@@ -147,6 +174,7 @@ def worker_main(argv: list[str] | None = None) -> int:
             cache_resolution=args.cache_resolution,
             cache_exact=args.cache_exact,
             workers=args.workers,
+            allow_mutations=args.mutable,
         )
         service.register("default", sketch)
         if args.register_tiers and callable(getattr(sketch, "with_dtype", None)):
@@ -185,7 +213,14 @@ def worker_main(argv: list[str] | None = None) -> int:
             rid, sep, frame = line.partition(b"\t")
             if not sep:  # an untagged line is a router bug; answer anyway
                 rid, frame = b"", rid
-            pool.submit(handle, rid, frame)
+            if protocol.is_ingest_frame(frame):
+                # Mutations apply in arrival order — inline, not pooled —
+                # so every shard that receives the same ingest sequence
+                # (the router broadcasts and replays them in order) lands
+                # on bit-identical weights.
+                handle(rid, frame)
+            else:
+                pool.submit(handle, rid, frame)
     finally:
         pool.shutdown(wait=True)
         service.close()

@@ -1,0 +1,64 @@
+"""Retraining policy for dirty leaf partitions.
+
+A data mutation dirties the kd-tree leaves whose query regions can reach
+it, but retraining every dirty leaf on every ingest wastes work when the
+mutation barely moves the leaf's answers. The policy gates retraining on
+two accumulated signals per leaf: how many changed rows have touched it
+since its last retrain, and how far its training labels have drifted from
+the labels its current weights were fitted on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MaintenancePolicy:
+    """When does a dirty leaf's drift warrant retraining?
+
+    Parameters
+    ----------
+    min_dirty_rows:
+        A leaf retrains only once at least this many changed rows have
+        touched its region since its last retrain. The default of 1
+        retrains on any change.
+    drift_threshold:
+        Minimum relative label drift (max over the leaf's probe queries of
+        ``|y_now - y_trained| / (|y_trained| + eps)``) before retraining.
+        The default of 0.0 retrains any dirty leaf regardless of drift.
+    probe_queries:
+        How many of a leaf's training queries are probed to measure drift.
+    """
+
+    min_dirty_rows: int = 1
+    drift_threshold: float = 0.0
+    probe_queries: int = 16
+
+    def __post_init__(self) -> None:
+        if self.min_dirty_rows < 1:
+            raise ValueError("min_dirty_rows must be >= 1")
+        if self.drift_threshold < 0:
+            raise ValueError("drift_threshold must be >= 0")
+        if self.probe_queries < 1:
+            raise ValueError("probe_queries must be >= 1")
+
+    def should_retrain(self, pending_rows: int, drift: float) -> bool:
+        """Retrain a leaf with ``pending_rows`` accumulated changed rows and
+        measured relative label ``drift``?"""
+        return pending_rows >= self.min_dirty_rows and drift >= self.drift_threshold
+
+    def to_dict(self) -> dict:
+        return {
+            "min_dirty_rows": self.min_dirty_rows,
+            "drift_threshold": self.drift_threshold,
+            "probe_queries": self.probe_queries,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "MaintenancePolicy":
+        return cls(
+            min_dirty_rows=int(state["min_dirty_rows"]),
+            drift_threshold=float(state["drift_threshold"]),
+            probe_queries=int(state["probe_queries"]),
+        )

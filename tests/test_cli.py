@@ -438,3 +438,82 @@ def test_serve_nan_query_yields_error_line_not_invalid_json(capsys, monkeypatch)
     assert len(lines) == 1
     payload = json.loads(lines[0])  # strict-parsable, so not bare NaN
     assert "error" in payload
+
+
+def test_ingest_offline_rewrites_bundle_and_round_trips(tmp_path, capsys):
+    from test_stream import small_sketch
+
+    from repro.stream import load_stream_sketch
+
+    bundle = str(tmp_path / "bundle.npz")
+    small_sketch().save_npz(bundle)
+    out = str(tmp_path / "mutated.npz")
+    rc = main(
+        [
+            "ingest",
+            "--sketch", bundle,
+            "--out", out,
+            "--row", "5.0,50.0",
+            "--row", "5.1,51.0",
+            "--delete-lo", "0.0,0.0",
+            "--delete-hi", "2.0,20.0",
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    summary = json.loads(captured.out.strip())
+    assert summary["op"] == "append+delete"
+    assert summary["appended"] == 2 and summary["deleted"] > 0
+    assert summary["swapped"] and summary["epoch"] >= 1
+    assert f"wrote {out}" in captured.err
+    # The original bundle is untouched; the output carries the mutation.
+    assert load_stream_sketch(bundle).epoch == 0
+    mutated = load_stream_sketch(out)
+    assert mutated.epoch == summary["epoch"]
+    assert mutated.data_version == summary["data_version"]
+
+
+def test_ingest_validates_its_flag_combinations(tmp_path, capsys):
+    assert main(["ingest", "--row", "1.0"]) == 2
+    assert "exactly one" in capsys.readouterr().err
+    assert main(["ingest", "--sketch", "x.npz", "--connect", "y:1", "--row", "1"]) == 2
+    assert "exactly one" in capsys.readouterr().err
+    assert main(["ingest", "--sketch", "x.npz", "--delete-lo", "0.0"]) == 2
+    assert "come together" in capsys.readouterr().err
+    assert main(["ingest", "--sketch", "x.npz"]) == 2
+    assert "nothing to ingest" in capsys.readouterr().err
+    assert main(["ingest", "--connect", "y:1", "--out", "z.npz", "--row", "1"]) == 2
+    assert "--out only applies" in capsys.readouterr().err
+    # A non-bundle artifact is an operator error, not a traceback.
+    plain = tmp_path / "plain.npz"
+    import numpy as np
+
+    np.savez(plain, x=np.arange(3))
+    assert main(["ingest", "--sketch", str(plain), "--row", "1.0,2.0"]) == 2
+    assert "not a stream-sketch bundle" in capsys.readouterr().err
+
+
+def test_run_save_stream_flag_validation(tmp_path, capsys):
+    rc = main(
+        [
+            "run",
+            "--dataset", "synthetic",
+            "--estimators", "uniform",
+            "--fast",
+            "--save-stream", str(tmp_path / "s.npz"),
+        ]
+    )
+    assert rc == 2
+    assert "neurosketch" in capsys.readouterr().err
+    rc = main(
+        [
+            "run",
+            "--dataset", "synthetic",
+            "--estimators", "neurosketch",
+            "--fast",
+            "--no-stream-bench",
+            "--save-stream", str(tmp_path / "s.npz"),
+        ]
+    )
+    assert rc == 2
+    assert "--no-stream-bench" in capsys.readouterr().err

@@ -9,7 +9,11 @@ from repro.serve import protocol
 from repro.serve.protocol import (
     BatchQueryRequest,
     BatchQueryResponse,
+    EpochRequest,
+    EpochResponse,
     ErrorResponse,
+    IngestRequest,
+    IngestResponse,
     ProtocolError,
     QueryRequest,
     QueryResponse,
@@ -18,13 +22,14 @@ from repro.serve.protocol import (
     decode_request,
     decode_response,
     encode,
+    is_ingest_frame,
 )
 
 # ----------------------------------------------------------- round-trip laws
 
 
 def _random_request(rng):
-    kind = rng.integers(0, 3)
+    kind = rng.integers(0, 5)
     rid = [None, int(rng.integers(0, 1_000_000)), f"req-{rng.integers(0, 99)}"][
         rng.integers(0, 3)
     ]
@@ -39,11 +44,24 @@ def _random_request(rng):
             for _ in range(int(rng.integers(1, 5)))
         )
         return BatchQueryRequest(q=q, id=rid, sketch=sketch)
+    if kind == 2:
+        d = int(rng.integers(1, 5))
+        rows = tuple(
+            tuple(float(x) for x in rng.standard_normal(d))
+            for _ in range(int(rng.integers(1, 4)))
+        )
+        delete = None
+        if rng.integers(0, 2):
+            lo = tuple(float(x) for x in rng.standard_normal(d))
+            delete = (lo, tuple(x + 1.0 for x in lo))
+        return IngestRequest(rows=rows, delete=delete, id=rid, sketch=sketch)
+    if kind == 3:
+        return EpochRequest(id=rid, sketch=sketch)
     return StatsRequest(id=rid, sketch=sketch)
 
 
 def _random_response(rng):
-    kind = rng.integers(0, 4)
+    kind = rng.integers(0, 6)
     rid = [None, int(rng.integers(0, 1_000_000))][rng.integers(0, 2)]
     if kind == 0:
         return QueryResponse(
@@ -57,6 +75,15 @@ def _random_response(rng):
         return BatchQueryResponse(answers=answers, id=rid)
     if kind == 2:
         return StatsResponse(stats={"batcher": {"n_flushes": int(rng.integers(0, 9))}}, id=rid)
+    if kind == 3:
+        return IngestResponse(
+            ingest={"appended": int(rng.integers(0, 99)), "swapped": bool(rng.integers(0, 2))},
+            id=rid,
+        )
+    if kind == 4:
+        return EpochResponse(
+            epoch=int(rng.integers(0, 99)), data_version=int(rng.integers(0, 99)), id=rid
+        )
     return ErrorResponse(
         error="something broke",
         code=protocol.ERROR_CODES[rng.integers(0, len(protocol.ERROR_CODES))],
@@ -205,3 +232,88 @@ def test_wire_shape_is_the_documented_envelope():
     assert line == {"v": 1, "ok": True, "answer": 1.5, "cached": True, "id": 1}
     line = json.loads(encode(ErrorResponse(error="x", code="timeout")))
     assert line == {"v": 1, "ok": False, "error": "x", "code": "timeout"}
+
+
+# -------------------------------------------------------- ingest/epoch frames
+
+
+def test_ingest_wire_shape_and_round_trip():
+    request = IngestRequest(
+        rows=((12.5, 40.0), (13.0, 41.0)),
+        delete=((0.0, 0.0), (1.0, 1.0)),
+        id=10,
+        sketch="pm",
+    )
+    line = encode(request)
+    assert json.loads(line) == {
+        "v": 1,
+        "op": "ingest",
+        "rows": [[12.5, 40.0], [13.0, 41.0]],
+        "delete": {"lo": [0.0, 0.0], "hi": [1.0, 1.0]},
+        "id": 10,
+        "sketch": "pm",
+    }
+    assert decode_request(line) == request
+    # Append-only and delete-only frames both decode.
+    assert decode_request(encode(IngestRequest(rows=((1.0,),)))).delete is None
+    only_delete = decode_request(encode(IngestRequest(delete=((0.0,), (1.0,)))))
+    assert only_delete.rows == () and only_delete.delete == ((0.0,), (1.0,))
+
+
+def test_epoch_wire_shape_and_round_trip():
+    request = EpochRequest(id=3, sketch="pm")
+    assert json.loads(encode(request)) == {"v": 1, "op": "epoch", "id": 3, "sketch": "pm"}
+    assert decode_request(encode(request)) == request
+    response = EpochResponse(epoch=4, data_version=9, id=3)
+    assert json.loads(encode(response)) == {
+        "v": 1,
+        "ok": True,
+        "epoch": 4,
+        "data_version": 9,
+        "id": 3,
+    }
+    assert decode_response(encode(response)) == response
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        '{"v": 1, "op": "ingest"}',  # neither rows nor delete
+        '{"v": 1, "op": "ingest", "rows": []}',
+        '{"v": 1, "op": "ingest", "rows": [[1.0], [1.0, 2.0]]}',  # ragged
+        '{"v": 1, "op": "ingest", "rows": [[1.0, null]]}',
+        '{"v": 1, "op": "ingest", "delete": [0.0, 1.0]}',  # not an object
+        '{"v": 1, "op": "ingest", "delete": {"lo": [0.0]}}',  # missing hi
+        '{"v": 1, "op": "ingest", "delete": {"lo": [0.0], "hi": [1.0, 2.0]}}',
+    ],
+)
+def test_malformed_ingest_requests_are_bad_requests(line):
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_request(line)
+    assert excinfo.value.code == "bad-request"
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        '{"ok": true, "ingest": 3}',
+        '{"ok": true, "epoch": 1.5}',
+        '{"ok": true, "epoch": 1, "data_version": true}',
+    ],
+)
+def test_malformed_ingest_epoch_responses_raise(line):
+    with pytest.raises(ProtocolError):
+        decode_response(line)
+
+
+def test_is_ingest_frame_cheap_classifier():
+    ingest = encode(IngestRequest(rows=((1.0, 2.0),))).encode("utf-8")
+    assert is_ingest_frame(ingest)
+    query = encode(QueryRequest(q=(1.0, 2.0))).encode("utf-8")
+    assert not is_ingest_frame(query)
+    # A query *naming a sketch* that contains the substring must not parse
+    # as ingest; invalid JSON answers False and takes the normal path.
+    tricky = b'{"v":1,"op":"query","q":[1.0],"sketch":"ingest"}'
+    assert not is_ingest_frame(tricky)
+    assert not is_ingest_frame(b'{"op": "ingest", broken json')
+    assert not is_ingest_frame(b'["ingest"]')

@@ -13,11 +13,13 @@ import pytest
 
 from repro.serve import (
     Client,
+    ServerError,
     SketchRouter,
     load_sketch,
     prepare_worker_artifact,
     start_router_thread,
 )
+from repro.stream import load_stream_sketch
 
 DATA = Path(__file__).resolve().parent / "data"
 GOLDEN = str(DATA / "golden_sketch.json.gz")
@@ -244,6 +246,127 @@ def test_router_boot_failure_surfaces_in_caller(tmp_path):
     bogus.write_bytes(b"junk")
     with pytest.raises(RuntimeError, match="failed to boot"):
         start_router_thread(str(bogus), processes=1, worker_boot_timeout_s=30.0)
+
+
+# -------------------------------------------------------- streaming ingest
+
+
+@pytest.fixture(scope="module")
+def stream_router(tmp_path_factory):
+    """A 2-process *mutable* router over a stream bundle, plus the ordered
+    mutation log the tests replay onto in-process twins."""
+    from test_stream import small_sketch
+
+    path = str(tmp_path_factory.mktemp("stream") / "bundle.npz")
+    small_sketch().save_npz(path)
+    handle = start_router_thread(
+        path,
+        processes=2,
+        worker_args=("--no-cache", "--mutable"),
+        restart_delay_s=0.2,
+    )
+    state = {"path": path, "handle": handle, "log": []}
+    try:
+        yield state
+    finally:
+        handle.stop()
+
+
+def _twin_after_replay(state):
+    """An in-process sketch that applied every mutation the router has."""
+    twin = load_stream_sketch(state["path"])
+    for op, payload in state["log"]:
+        if op == "append":
+            twin.append(payload)
+        else:
+            twin.delete(*payload)
+    return twin
+
+
+def test_router_ingest_broadcast_keeps_every_shard_bit_identical(stream_router):
+    """The PR-7 worker-boot parity property extended through a mutation:
+    save_npz -> worker load_npz -> wire ingest -> hot-swap answers must be
+    byte-for-byte what the in-process sketch produces for the same updates
+    — on *both* shards, because ingest broadcasts."""
+    from test_stream import rows_near
+
+    handle = stream_router["handle"]
+    twin = _twin_after_replay(stream_router)
+    rows = rows_near(twin, np.array([0.5, 0.5]), k=6, seed=50)
+    box = (np.array([0.0, 0.0]), np.array([2.0, 20.0]))
+    Q = np.random.default_rng(21).uniform(0.0, 1.0, size=(32, 2))
+    with Client.connect(handle.address) as client:
+        epoch0, version0 = client.epoch()
+        assert (epoch0, version0) == (twin.epoch, twin.data_version)
+
+        summary = client.ingest(rows=rows)
+        stream_router["log"].append(("append", rows))
+        assert summary["appended"] == 6 and summary["swapped"]
+        # The wire summary is the in-process IngestResult plus the serving
+        # layer's eviction count (0 here: workers run --no-cache).
+        assert summary.pop("cache_evictions") == 0
+        assert summary == twin.append(rows).to_dict()
+
+        summary = client.ingest(delete=box)
+        stream_router["log"].append(("delete", box))
+        summary.pop("cache_evictions")
+        assert summary == twin.delete(*box).to_dict()
+
+        assert client.epoch() == (twin.epoch, twin.data_version)
+        want = np.asarray(twin.predict(Q), dtype=np.float64)
+        # Consecutive batch frames round-robin across the shards: both
+        # copies must have landed on bit-identical weights.
+        for _ in range(2):
+            got = np.asarray(client.ask_many(Q), dtype=np.float64)
+            assert got.tobytes() == want.tobytes()
+        stats = client.stats()
+        assert stats["mutable"] is True
+        assert stats["stream"]["epoch"] == twin.epoch
+    rstats = handle.router.router_stats()
+    assert rstats["ingests"] >= 2 and rstats["ingest_log"] >= 2
+
+
+def test_router_respawned_worker_replays_the_ingest_log(stream_router):
+    """SIGKILL a shard after a mutation: the replacement boots from the
+    *original* bundle, replays the logged ingests in order, and answers
+    bit-identically to the surviving shard and the in-process twin."""
+    from test_stream import rows_near
+
+    handle = stream_router["handle"]
+    router = handle.router
+    twin = _twin_after_replay(stream_router)
+    rows = rows_near(twin, np.array([0.25, 0.75]), k=5, seed=51)
+    Q = np.random.default_rng(22).uniform(0.0, 1.0, size=(24, 2))
+    with Client.connect(handle.address) as client:
+        client.ingest(rows=rows)
+        stream_router["log"].append(("append", rows))
+        twin.append(rows)
+
+        before = router.router_stats()["workers"][0]
+        os.kill(before["pid"], signal.SIGKILL)
+        deadline = time.time() + 15.0
+        while time.time() < deadline:
+            w = router.router_stats()["workers"][0]
+            if w["alive"] and w["restarts"] > before["restarts"]:
+                break
+            time.sleep(0.05)
+        w = router.router_stats()["workers"][0]
+        assert w["alive"] and w["restarts"] > before["restarts"]
+
+        want = np.asarray(twin.predict(Q), dtype=np.float64)
+        for _ in range(4):  # alternate across both shards twice
+            got = np.asarray(client.ask_many(Q), dtype=np.float64)
+            assert got.tobytes() == want.tobytes()
+        assert client.epoch() == (twin.epoch, twin.data_version)
+
+
+def test_router_ingest_to_immutable_workers_is_a_structured_error(golden_router):
+    with Client.connect(golden_router.address) as client:
+        with pytest.raises(ServerError) as excinfo:
+            client.ingest(rows=[[0.1, 0.2]])
+        assert excinfo.value.code == "immutable"
+        # The connection survives the refused mutation.
+        assert "batcher" in client.stats()
 
 
 def test_prepare_worker_artifact_round_trip(tmp_path):

@@ -64,6 +64,108 @@ def test_cache_rejects_bad_knobs():
         AnswerCache(max_entries=0)
 
 
+# -------------------------------------------- AnswerCache region invalidation
+
+
+def test_invalidate_region_evicts_inside_keeps_disjoint():
+    cache = AnswerCache(resolution=0.01)
+    inside = np.array([0.5, 0.5])
+    outside = np.array([0.9, 0.9])
+    cache.put(inside, 1.0)
+    cache.put(outside, 2.0)
+    evicted = cache.invalidate_region(np.array([0.4, 0.4]), np.array([0.6, 0.6]))
+    assert evicted == 1
+    assert cache.get(inside) is None  # evicted
+    assert cache.get(outside) == 2.0  # disjoint entry survives
+    assert cache.invalidations == 1
+
+
+def test_invalidate_region_is_conservative_at_grid_cell_boundaries():
+    """A quantized key stands for its whole grid cell, so a query whose
+    *cell* straddles the box boundary is evicted even when the raw query
+    sits just outside the box — and one a full cell away survives."""
+    cache = AnswerCache(resolution=0.01)
+    # Box upper edge at 0.605: 0.607 rounds to cell 0.61 whose lower half
+    # spans [0.605, 0.61] — it straddles the edge, so it must go.
+    straddling = np.array([0.607, 0.5])
+    clear = np.array([0.62, 0.5])  # a full cell beyond the edge
+    cache.put(straddling, 1.0)
+    cache.put(clear, 2.0)
+    evicted = cache.invalidate_region(np.array([0.4, 0.4]), np.array([0.605, 0.6]))
+    assert evicted == 1
+    assert cache.get(straddling) is None
+    assert cache.get(clear) == 2.0
+
+
+def test_invalidate_region_accepts_multiple_boxes_and_empty_sets():
+    cache = AnswerCache(resolution=0.01)
+    for x in (0.1, 0.5, 0.9):
+        cache.put(np.array([x, x]), x)
+    lo = np.array([[0.05, 0.05], [0.85, 0.85]])
+    hi = np.array([[0.15, 0.15], [0.95, 0.95]])
+    assert cache.invalidate_region(lo, hi) == 2
+    assert len(cache) == 1 and cache.get(np.array([0.5, 0.5])) == 0.5
+    # No boxes -> nothing to do.
+    assert cache.invalidate_region(np.empty((0, 2)), np.empty((0, 2))) == 0
+
+
+def test_invalidate_region_respects_namespace_and_dimension():
+    cache = AnswerCache(resolution=0.01)
+    cache.put(np.array([0.5, 0.5]), 1.0, namespace=b"a\x00")
+    cache.put(np.array([0.5, 0.5]), 2.0, namespace=b"b\x00")
+    cache.put(np.array([0.5, 0.5, 0.5]), 3.0)  # other width, empty namespace
+    evicted = cache.invalidate_region(
+        np.array([0.4, 0.4]), np.array([0.6, 0.6]), namespace=b"a\x00"
+    )
+    assert evicted == 1
+    assert cache.get(np.array([0.5, 0.5]), namespace=b"a\x00") is None
+    assert cache.get(np.array([0.5, 0.5]), namespace=b"b\x00") == 2.0
+    assert cache.get(np.array([0.5, 0.5, 0.5])) == 3.0
+
+
+def test_invalidate_region_handles_exact_and_fallback_keys_as_points():
+    cache = AnswerCache(resolution=0.01, exact=True)
+    cache.put(np.array([0.5, 0.5]), 1.0)
+    cache.put(np.array([0.604, 0.5]), 2.0)  # outside: no quantized slack
+    assert cache.invalidate_region(np.array([0.4, 0.4]), np.array([0.6, 0.6])) == 1
+    assert cache.get(np.array([0.5, 0.5])) is None
+    assert cache.get(np.array([0.604, 0.5])) == 2.0
+    # Quantized-mode overflow fallback keys are matched as points too.
+    cache = AnswerCache(resolution=1e-4)
+    cache.put(np.array([3e18]), 7.0)
+    assert cache.invalidate_region(np.array([2.9e18]), np.array([3.1e18])) == 1
+
+
+def test_invalidate_region_with_infinite_box_sides():
+    """Dirty leaf boxes leave unconstrained sides at +-inf; those sides
+    match every coordinate."""
+    cache = AnswerCache(resolution=0.01)
+    cache.put(np.array([0.5, 0.1]), 1.0)
+    cache.put(np.array([0.5, 0.9]), 2.0)
+    cache.put(np.array([0.8, 0.9]), 3.0)
+    lo = np.array([0.45, -np.inf])
+    hi = np.array([0.55, np.inf])
+    assert cache.invalidate_region(lo, hi) == 2
+    assert cache.get(np.array([0.8, 0.9])) == 3.0
+
+
+def test_invalidate_region_rejects_mismatched_boxes():
+    cache = AnswerCache()
+    with pytest.raises(ValueError, match="matching"):
+        cache.invalidate_region(np.zeros((1, 2)), np.zeros((2, 2)))
+    with pytest.raises(ValueError, match="expected"):
+        cache.invalidate_region(np.zeros((1, 2)), np.zeros((1, 2)), dim=3)
+
+
+def test_clear_resets_invalidation_counter():
+    cache = AnswerCache(resolution=0.01)
+    cache.put(np.array([0.5]), 1.0)
+    cache.invalidate_region(np.array([0.0]), np.array([1.0]))
+    assert cache.invalidations == 1
+    cache.clear()
+    assert cache.invalidations == 0 and len(cache) == 0
+
+
 # ---------------------------------------------------------------- MicroBatcher
 
 

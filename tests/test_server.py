@@ -347,3 +347,61 @@ def test_cli_query_connect_refused_is_clean(capsys):
     assert rc == 2
     err = capsys.readouterr().err
     assert "error" in err and "Traceback" not in err
+
+
+# ----------------------------------------------------------- streaming ingest
+
+
+def test_server_ingest_over_socket_matches_in_process_twin(tmp_path):
+    """A second client mutates the sketch mid-traffic; after the hot-swap,
+    the first client's batched answers are bitwise-equal to an in-process
+    sketch that applied the same updates."""
+    from test_stream import rows_near, small_sketch
+
+    from repro.stream import load_stream_sketch
+
+    sketch = small_sketch()
+    bundle = str(tmp_path / "bundle.npz")
+    sketch.save_npz(bundle)
+    twin = load_stream_sketch(bundle)
+    svc = SketchService(cache=False, max_delay_s=1e-3, allow_mutations=True)
+    svc.register("stream", sketch)
+    handle = start_server_thread(svc)
+    try:
+        Q = np.random.default_rng(31).uniform(0.0, 1.0, size=(24, 2))
+        with Client.connect(handle.address) as reader:
+            before = np.asarray(reader.ask_many(Q), dtype=np.float64)
+            assert before.tobytes() == np.asarray(twin.predict(Q)).tobytes()
+            assert reader.epoch() == (0, 0)
+            rows = rows_near(sketch, np.array([0.5, 0.5]), k=6, seed=60)
+            with Client.connect(handle.address) as writer:
+                summary = writer.ingest(rows=rows)
+            assert summary["swapped"] and summary["epoch"] == 1
+            twin.append(rows)
+            after = np.asarray(reader.ask_many(Q), dtype=np.float64)
+            assert after.tobytes() == np.asarray(twin.predict(Q)).tobytes()
+            assert not np.array_equal(after, before)
+            assert reader.epoch() == (1, 1)
+            stats = reader.stats()
+            assert stats["mutable"] is True and stats["stream"]["epoch"] == 1
+    finally:
+        handle.stop()
+        svc.close()
+
+
+def test_server_without_mutations_answers_ingest_with_immutable_code():
+    from test_stream import small_sketch
+
+    svc = SketchService(cache=False, max_delay_s=1e-3)  # allow_mutations off
+    svc.register("stream", small_sketch())
+    handle = start_server_thread(svc)
+    try:
+        with Client.connect(handle.address) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.ingest(rows=[[1.0, 2.0]])
+            assert excinfo.value.code == "immutable"
+            # The refusal mutated nothing and the connection still serves.
+            assert client.epoch() == (0, 0)
+    finally:
+        handle.stop()
+        svc.close()
