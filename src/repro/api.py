@@ -167,6 +167,8 @@ def build_estimator(
     patience: int = 15,
     min_delta: float = 1e-6,
     train_backend: str = "stacked",
+    build_workers: int = 1,
+    build_shards: int | None = None,
     sample_frac: float = 0.1,
     compile: bool = True,
     infer_dtype: str = "float64",
@@ -191,6 +193,8 @@ def build_estimator(
         patience=patience,
         min_delta=min_delta,
         train_backend=train_backend,
+        build_workers=build_workers,
+        build_shards=build_shards,
         sample_frac=sample_frac,
         compile=compile,
         infer_dtype=infer_dtype,

@@ -55,6 +55,17 @@ def _parse_estimators(spec: str) -> tuple[str, ...]:
     return names
 
 
+def _parse_max_batch(spec: str) -> int | str:
+    """Micro-batch flush trigger: an integer or ``auto`` (segment-stats
+    driven, see :class:`repro.serve.batching.MicroBatcher`)."""
+    if spec.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(spec)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer or 'auto', got {spec!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -78,6 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--train-backend", choices=("stacked", "sequential"), default="stacked",
                      help="leaf-MLP training engine: one vectorized loop over all "
                           "leaves (default) or the per-leaf reference loop")
+    run.add_argument("--build-workers", type=int, default=1, metavar="N",
+                     help="worker processes for the sharded parallel build "
+                          "(default 1 = the classic single-process build; > 1 "
+                          "adds the build.parallel BENCH block)")
+    run.add_argument("--build-shards", type=int, default=None, metavar="K",
+                     help="shard count for the parallel build plan (default: "
+                          "--build-workers); the result depends only on K, "
+                          "never on the pool size")
+    run.add_argument("--data-source", choices=("simulate", "raw", "auto"), default="simulate",
+                     help="dataset provenance: simulator (default), required raw "
+                          "file (fails loudly when absent), or raw-with-fallback")
     run.add_argument("--train-batch-size", type=int, default=256,
                      help="mini-batch size for leaf training")
     run.add_argument("--optimizer", choices=("adam", "sgd"), default="adam",
@@ -135,8 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=4,
                        help="micro-batch flush workers; each concurrent flush "
                             "uses its own engine replica")
-    serve.add_argument("--max-batch", type=int, default=64,
-                       help="micro-batch size flush trigger")
+    serve.add_argument("--max-batch", type=_parse_max_batch, default=64,
+                       help="micro-batch size flush trigger: an integer, or "
+                            "'auto' to derive it from the engine's observed "
+                            "segment-size distribution")
     serve.add_argument("--max-delay-ms", type=float, default=2.0,
                        help="micro-batch deadline flush trigger, milliseconds")
     serve.add_argument("--max-line-bytes", type=int, default=None,
@@ -247,6 +271,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             patience=args.patience,
             min_delta=args.min_delta,
             train_backend=args.train_backend,
+            build_workers=args.build_workers,
+            build_shards=args.build_shards,
+            data_source=args.data_source,
             sample_frac=args.sample_frac,
             compile=not args.no_compile,
             infer_dtype=args.infer_dtype,

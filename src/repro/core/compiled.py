@@ -82,6 +82,16 @@ DEFAULT_SERVING_DTYPE = "float32"
 #: blocking caller from ever starving an async worker on tiny machines.
 DEFAULT_MAX_REPLICAS = max(2, min(16, os.cpu_count() or 2))
 
+#: Rows per occupied leaf segment the auto micro-batch threshold targets:
+#: small enough to keep flush latency in the tail budget, large enough that
+#: each per-segment matmul amortizes its dispatch (see ``segment_stats``).
+TARGET_SEGMENT_ROWS = 32
+
+#: Clamp and fallback for the derived ``suggested_max_batch``.
+MIN_AUTO_BATCH = 8
+MAX_AUTO_BATCH = 1024
+DEFAULT_MAX_BATCH = 64
+
 
 def resolve_dtype(name: str) -> np.dtype:
     """Validate a tier name (``"float64"``/``"float32"``) into a dtype."""
@@ -388,6 +398,9 @@ class _LeafGroup:
         "_cap",
         "_qflat",
         "_hflat",
+        "fb_batches",
+        "fb_rows",
+        "fb_segments",
     )
 
     def __init__(
@@ -436,6 +449,11 @@ class _LeafGroup:
         self._cap = 0
         self._qflat = None
         self._hflat = None
+        # Segment-size observation counters (drained by the owning sketch at
+        # context check-in; see ``CompiledSketch.segment_stats``).
+        self.fb_batches = 0
+        self.fb_rows = 0
+        self.fb_segments = 0
 
     # ------------------------------------------------------------------- plan
 
@@ -519,6 +537,9 @@ class _LeafGroup:
         rep._cap = 0
         rep._qflat = None
         rep._hflat = None
+        rep.fb_batches = 0
+        rep.fb_rows = 0
+        rep.fb_segments = 0
         return rep
 
     def _ensure_arena(self, m: int) -> None:
@@ -586,6 +607,9 @@ class _LeafGroup:
                 segs.append(slice(s0, s1))
                 plans.append(self._slot_A[slot])
                 s0 = s1
+        self.fb_batches += 1
+        self.fb_rows += m
+        self.fb_segments += len(segs)
         H = X
         hflat, cols, matmul = self._hflat, self._cols, np.matmul
         n_aff = len(self._A)
@@ -724,6 +748,11 @@ class _EngineContext:
         "ls_list",
         "slot_identity",
         "epoch",
+        "wlo",
+        "whi",
+        "last_lid",
+        "warm_hits",
+        "warm_misses",
         "_cap",
         "_node",
         "_rows",
@@ -739,6 +768,13 @@ class _EngineContext:
         self.ls_list = sketch._ls_list
         self.slot_identity = sketch._slot_identity
         self.epoch = sketch.epoch
+        # Same-leaf warm-start state: routing boxes as Python lists (shared,
+        # read-only), the last-hit leaf, and hit/miss counters drained by the
+        # sketch at check-in.
+        self.wlo, self.whi = sketch._warm_boxes()
+        self.last_lid = -1
+        self.warm_hits = 0
+        self.warm_misses = 0
         self._cap = 0
         self._node = None
         self._rows = None
@@ -802,6 +838,15 @@ class CompiledSketch:
         self.max_replicas = DEFAULT_MAX_REPLICAS
         self.epoch = 0
         self._pool = threading.Condition()
+        # Workload observation counters, drained from contexts at check-in:
+        # same-leaf warm-start hits/misses (scalar path) and the segment-size
+        # distribution of batch calls (``segment_stats``).
+        self._warm_hits = 0
+        self._warm_misses = 0
+        self._seg_batches = 0
+        self._seg_rows = 0
+        self._seg_segments = 0
+        self._wb = None  # epoch-tagged warm-start leaf boxes
         self._idle = [_EngineContext(self, self.groups)]
         self._n_contexts = 1
 
@@ -1004,8 +1049,32 @@ class CompiledSketch:
                         raise
                 self._pool.wait()
 
+    def _warm_boxes(self) -> tuple[list, list]:
+        """Per-leaf routing boxes for the same-leaf warm-start, as nested
+        Python lists (the scalar path compares ~``input_dim`` floats per
+        call; list indexing keeps that free of numpy dispatch). Computed once
+        per epoch and shared read-only by every context. Callers hold the
+        pool lock or run during construction."""
+        wb = self._wb
+        if wb is None or wb[0] != self.epoch:
+            lo, hi = self.tree.leaf_boxes(self.input_dim)
+            wb = (self.epoch, lo.tolist(), hi.tolist())
+            self._wb = wb
+        return wb[1], wb[2]
+
     def _checkin(self, ctx: _EngineContext) -> None:
         with self._pool:
+            self._warm_hits += ctx.warm_hits
+            self._warm_misses += ctx.warm_misses
+            ctx.warm_hits = 0
+            ctx.warm_misses = 0
+            for g in ctx.groups:
+                self._seg_batches += g.fb_batches
+                self._seg_rows += g.fb_rows
+                self._seg_segments += g.fb_segments
+                g.fb_batches = 0
+                g.fb_rows = 0
+                g.fb_segments = 0
             if ctx.epoch != self.epoch:
                 # The context predates a hot-swap: its groups hold the old
                 # epoch's weights, so returning it to the idle list would
@@ -1065,13 +1134,52 @@ class CompiledSketch:
     def replica_stats(self) -> dict:
         """Pool counters, e.g. for a serving layer's stats endpoint."""
         with self._pool:
+            scalar_calls = self._warm_hits + self._warm_misses
             return {
                 "replicas": self._n_contexts,
                 "idle": len(self._idle),
                 "max_replicas": self.max_replicas,
                 "dtype": self.dtype_name,
                 "epoch": self.epoch,
+                "warm_hits": self._warm_hits,
+                "warm_misses": self._warm_misses,
+                "warm_hit_rate": (
+                    self._warm_hits / scalar_calls if scalar_calls else 0.0
+                ),
             }
+
+    def segment_stats(self) -> dict:
+        """Observed segment-size distribution of batch predicts.
+
+        Each ``forward_batch`` call contributes its row count and the number
+        of occupied leaf segments it split into; from those the mean rows
+        per segment and the suggested micro-batch flush threshold are
+        derived: enough rows that the *average* flush lands
+        ``TARGET_SEGMENT_ROWS`` rows on every occupied segment, clamped to
+        ``[MIN_AUTO_BATCH, MAX_AUTO_BATCH]``. ``suggested_max_batch`` falls
+        back to ``DEFAULT_MAX_BATCH`` until any batch has been observed.
+        This is what a ``MicroBatcher`` in ``max_batch_size="auto"`` mode
+        polls.
+        """
+        with self._pool:
+            batches = self._seg_batches
+            rows = self._seg_rows
+            segments = self._seg_segments
+        mean_rows = rows / segments if segments else 0.0
+        mean_segments = segments / batches if batches else 0.0
+        if batches:
+            suggested = int(round(TARGET_SEGMENT_ROWS * max(1.0, mean_segments)))
+            suggested = max(MIN_AUTO_BATCH, min(MAX_AUTO_BATCH, suggested))
+        else:
+            suggested = DEFAULT_MAX_BATCH
+        return {
+            "batches": batches,
+            "rows": rows,
+            "segments": segments,
+            "mean_segment_rows": mean_rows,
+            "mean_segments_per_batch": mean_segments,
+            "suggested_max_batch": suggested,
+        }
 
     def predict(self, Q: np.ndarray) -> np.ndarray:
         """Answers for a batch of queries, shape ``(m,)`` (always float64)."""
@@ -1120,7 +1228,22 @@ class CompiledSketch:
             self._checkin(ctx)
 
     def _predict_one_ctx(self, ctx: _EngineContext, q: np.ndarray) -> float:
+        # Same-leaf warm-start: point workloads (trajectories, range sweeps)
+        # tend to hit the leaf they hit last call. A leaf's routing region is
+        # exactly ``lo < q <= hi`` of its box (routing sends ``q[d] <= val``
+        # left), so the membership test is equivalent to a full route — the
+        # tree walk is skipped only when it provably lands on the same leaf.
+        lid = ctx.last_lid
+        if lid >= 0:
+            for x, lo, hi in zip(q, ctx.wlo[lid], ctx.whi[lid]):
+                if x <= lo or x > hi:
+                    break
+            else:
+                ctx.warm_hits += 1
+                return ctx.groups[ctx.lg_list[lid]].forward_one(q, ctx.ls_list[lid])
+        ctx.warm_misses += 1
         lid = ctx.tree.route_one(q)
+        ctx.last_lid = lid
         return ctx.groups[ctx.lg_list[lid]].forward_one(q, ctx.ls_list[lid])
 
     def predict_padded(self, Q: np.ndarray) -> np.ndarray:

@@ -59,9 +59,14 @@ class QueryKDTree:
         Maximum tree height ``h``; the build creates up to ``2^h`` leaves.
         A node stops splitting early if a median split would leave a child
         empty (degenerate duplicate values).
+    start_dim:
+        Dimension the root splits on (default 0). A subtree at depth
+        ``delta`` of a larger build splits on ``delta % d`` first, so the
+        parallel shard builder reproduces the exact cuts the sequential
+        build would make inside that subtree.
     """
 
-    def __init__(self, Q: np.ndarray, height: int) -> None:
+    def __init__(self, Q: np.ndarray, height: int, start_dim: int = 0) -> None:
         Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
         if height < 0:
             raise ValueError("height must be >= 0")
@@ -71,7 +76,7 @@ class QueryKDTree:
         self.height = int(height)
         self.dim = Q.shape[1]
         self.root = KDNode(np.arange(Q.shape[0]))
-        self._partition_and_index(self.root, self.height, 0)
+        self._partition_and_index(self.root, self.height, int(start_dim) % self.dim)
         self.relabel_leaves()
 
     # ---------------------------------------------------------------- build

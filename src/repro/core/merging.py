@@ -23,6 +23,7 @@ def merge_leaves(
     s: int,
     max_pairs: int | None = 50_000,
     rng: np.random.Generator | None = None,
+    aqc_cache: dict[int, float] | None = None,
 ) -> QueryKDTree:
     """Merge the tree's leaves in place down to ``s`` leaves (Alg. 3).
 
@@ -40,6 +41,11 @@ def merge_leaves(
     s:
         Target number of leaves. Must be >= 1; if the tree already has
         <= ``s`` leaves this is a no-op.
+    aqc_cache:
+        Optional precomputed AQC cache keyed by node identity (``id(leaf)``).
+        The parallel shard builder passes the AQCs its workers already
+        computed so the cross-boundary merge pass reuses them instead of
+        recomputing; mutated in place with any AQCs computed here.
     """
     if s < 1:
         raise ValueError("s must be >= 1")
@@ -47,7 +53,8 @@ def merge_leaves(
     if y.shape[0] != tree.Q.shape[0]:
         raise ValueError("y must align with the tree's build query set")
 
-    aqc_cache: dict[int, float] = {}
+    if aqc_cache is None:
+        aqc_cache = {}
 
     def aqc_of(leaf) -> float:
         # Keyed by node identity: stable across relabeling, and a merged

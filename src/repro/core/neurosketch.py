@@ -13,6 +13,7 @@ Pipeline implemented by :meth:`NeuroSketch.fit`:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -108,6 +109,8 @@ class NeuroSketch(Estimator):
         self.leaf_aqcs_: dict[int, float] = {}
         #: Compiled-engine cache, one entry per dtype tier.
         self._compiled: dict[str, CompiledSketch] = {}
+        #: Report from the last sharded build (None for the classic path).
+        self.build_report_: dict | None = None
 
     # ------------------------------------------------------------------- fit
 
@@ -117,6 +120,8 @@ class NeuroSketch(Estimator):
         Q_train: np.ndarray = None,
         y_train: np.ndarray | None = None,
         train_backend: str | None = None,
+        build_workers: int | None = None,
+        build_shards: int | None = None,
     ) -> "NeuroSketch":
         """Train on a query workload.
 
@@ -124,6 +129,18 @@ class NeuroSketch(Estimator):
         (used to label ``Q_train`` exactly — the paper's training-set
         generation step) or precomputed labels ``y_train``. ``train_backend``
         overrides the constructor's choice for this fit only.
+
+        ``build_workers > 1`` (or ``build_shards >= 2``) switches to the
+        sharded construction pipeline (:mod:`repro.core.parallel`): the
+        training workload is split along the kd-tree's top-level cuts into
+        ``build_shards`` shards (default: ``build_workers``), each shard's
+        sub-sketch is built independently — in pool processes when the
+        machine has cores to spare, inline otherwise — and the sub-trees
+        are grafted back together with a cross-boundary Alg.-3 merge. The
+        sharded build is a pure function of ``(data, config, seed,
+        build_shards)``: worker count never changes the result. The default
+        (``build_workers`` unset/1) keeps the classic single-process path
+        byte-identical to previous releases.
         """
         if Q_train is None:
             raise ValueError("Q_train is required")
@@ -139,8 +156,14 @@ class NeuroSketch(Estimator):
         if backend not in TRAIN_BACKENDS:
             raise ValueError(f"train_backend must be one of {TRAIN_BACKENDS}")
 
+        workers = 1 if build_workers is None else int(build_workers)
+        shards = workers if build_shards is None else int(build_shards)
+        if max(workers, shards) > 1 and self.tree_height >= 1:
+            return self._fit_sharded(Q_train, y_train, backend, workers, shards)
+
         self.input_dim = Q_train.shape[1]
         self._compiled = {}  # any previous compilation is now stale
+        self.build_report_ = None
         rng = np.random.default_rng(self.seed)
 
         # (1) Partition & index.
@@ -153,6 +176,51 @@ class NeuroSketch(Estimator):
 
         # (3) Train one model per leaf (both backends, same per-leaf seeds).
         self._train_leaves(Q_train, y_train, rng, backend)
+        return self
+
+    def _fit_sharded(
+        self,
+        Q_train: np.ndarray,
+        y_train: np.ndarray,
+        backend: str,
+        workers: int,
+        shards: int,
+    ) -> "NeuroSketch":
+        """Sharded construction (``fit(build_workers=...)``), Alg. 2–4 by
+        divide and conquer. Delegates to :func:`repro.core.parallel.build_sharded`
+        and adapts its result to this estimator's attributes."""
+        from repro.core.parallel import build_sharded
+
+        if backend != "stacked":
+            raise ValueError("parallel builds require the stacked train backend")
+        self.input_dim = Q_train.shape[1]
+        self._compiled = {}
+        shards = max(2, shards)
+        # Pool size is clamped to the machine; the shard *plan* (and so the
+        # result) depends only on ``shards``, never on the pool size.
+        effective = max(1, min(workers, os.cpu_count() or 1))
+        result = build_sharded(
+            Q_train,
+            y_train,
+            tree_height=self.tree_height,
+            n_partitions=self.n_partitions,
+            arch=mlp_architecture(
+                self.input_dim, self.depth, self.width_first, self.width_rest
+            ),
+            train_config=self.train_config,
+            seed=self.seed,
+            n_shards=shards,
+            workers=effective,
+        )
+        self.tree = result.tree
+        self.models = {
+            leaf_id: _LeafModel(leaf_id, regressor, result.n_train[leaf_id])
+            for leaf_id, regressor in result.regressors.items()
+        }
+        self.leaf_aqcs_ = result.leaf_aqcs
+        self._compiled = {"float64": result.compiled}
+        self.build_report_ = dict(result.report)
+        self.build_report_["requested_workers"] = workers
         return self
 
     def _train_leaves(

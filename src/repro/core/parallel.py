@@ -1,0 +1,581 @@
+"""Parallel shard-build: multi-process sketch construction (divide & conquer).
+
+Construction was the last single-process stage of the pipeline. This module
+partitions the *training workload* along the kd-tree's own top-level splits
+into ``K`` shards, fits an independent sub-sketch per shard (subtree build,
+Alg.-3 merging to a per-shard quota, stacked training), then grafts the
+sub-trees back into one kd-tree and runs AQC-aware cross-boundary merging
+before the usual :meth:`~repro.core.compiled.CompiledSketch.from_stack`
+hand-off.
+
+Why the top-level kd splits are the right shard boundary: a kd subtree's
+median splits depend only on the queries that reach it, so a shard that
+builds ``QueryKDTree(Q[shard], height - depth, start_dim=depth % d)``
+reproduces *exactly* the cuts the sequential build would have made inside
+that subtree. Sharding therefore never changes the partitioning — only the
+order AQC/merge/training work is scheduled in.
+
+Determinism contract
+--------------------
+- Every shard derives its RNG from ``(seed, shard_id)`` and the
+  cross-boundary pass from ``(seed, n_shards)``, so the build is a pure
+  function of ``(data, config, seed, n_shards)``.
+- Workers receive ``.npz`` spills (binary float64 round-trips bit-exactly)
+  and the parent consumes ``.npz`` results, so executing a shard in a pool
+  worker or inline in the parent produces bit-identical engines — worker
+  *count* never changes the result, only the wall clock.
+- Two builds with the same seed and shard plan are therefore slot-for-slot
+  bit-identical, pool or no pool.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.compiled import CompiledSketch
+from repro.core.complexity import average_query_change
+from repro.core.kdtree import KDNode, QueryKDTree
+from repro.core.merging import merge_leaves
+from repro.nn.network import MLP
+from repro.nn.scalers import StackedStandardScaler
+from repro.nn.stacked import StackedMLP, StackedTrainer
+from repro.nn.train_core import TrainConfig, TrainedRegressor
+
+TASK_FORMAT = "shard-task-npz-v1"
+RESULT_FORMAT = "shard-result-npz-v1"
+
+#: Pair-subsampling budget for per-leaf AQCs, matching ``NeuroSketch.fit``.
+AQC_MAX_PAIRS = 50_000
+
+
+@dataclass
+class ShardSpec:
+    """One shard of the build: a frontier node of the top-level kd-tree."""
+
+    shard_id: int
+    indices: np.ndarray  # global rows of Q_train routed to this subtree
+    depth: int  # depth of the frontier node in the full tree
+    start_dim: int  # split dimension the subtree's root uses
+    height: int  # height budget left below the frontier node
+    quota: int | None  # per-shard Alg.-3 merge target (None = no merging)
+
+
+@dataclass
+class ParallelBuildResult:
+    """Everything a sharded build hands back to ``NeuroSketch.fit``."""
+
+    tree: QueryKDTree
+    regressors: dict[int, TrainedRegressor]
+    n_train: dict[int, int]
+    leaf_aqcs: dict[int, float]
+    compiled: CompiledSketch
+    report: dict = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------- plan
+
+
+def plan_shards(
+    Q: np.ndarray, height: int, n_shards: int, s: int | None
+) -> tuple[QueryKDTree, list[KDNode], list[ShardSpec]]:
+    """Split the top of the kd-tree into shard subtrees.
+
+    Builds the top ``ceil(log2(n_shards))`` levels with the standard Alg.-2
+    construction (so shard cuts *are* kd splits); each frontier leaf becomes
+    one shard. Degenerate early stops can leave fewer than ``n_shards``
+    frontier nodes — the actual count is ``len(specs)``. The global merge
+    target ``s`` is divided into equal per-shard quotas (``ceil(s / K)``),
+    so shards deliver at least ``s`` leaves total and the cross-boundary
+    pass trims the remainder.
+    """
+    Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+    if height < 1:
+        raise ValueError("sharded builds need tree_height >= 1")
+    if n_shards < 2:
+        raise ValueError("n_shards must be >= 2")
+    delta = min(int(height), int(np.ceil(np.log2(n_shards))))
+    top = QueryKDTree(Q, delta)
+
+    frontiers: list[KDNode] = []
+    depths: list[int] = []
+    stack: list[tuple[KDNode, int]] = [(top.root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if node.is_leaf:
+            frontiers.append(node)
+            depths.append(depth)
+        else:
+            stack.append((node.right, depth + 1))
+            stack.append((node.left, depth + 1))
+    # ``stack.pop`` order above yields leaves right-to-left; restore L-to-R.
+    frontiers = frontiers[::-1]
+    depths = depths[::-1]
+
+    k = len(frontiers)
+    quota = None if s is None else max(1, -(-int(s) // k))
+    specs = [
+        ShardSpec(
+            shard_id=i,
+            indices=node.indices,
+            depth=depth,
+            start_dim=depth % top.dim,
+            height=int(height) - depth,
+            quota=quota,
+        )
+        for i, (node, depth) in enumerate(zip(frontiers, depths))
+    ]
+    return top, frontiers, specs
+
+
+# -------------------------------------------------------------- shard build
+
+
+def run_shard(
+    Q: np.ndarray,
+    y: np.ndarray,
+    *,
+    shard_id: int,
+    seed: int,
+    height: int,
+    start_dim: int,
+    quota: int | None,
+    arch: list[int],
+    cfg: TrainConfig,
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Build, merge and train one shard's sub-sketch (pure, in-memory).
+
+    ``Q``/``y`` are the shard's rows in *local* indexing. Returns the result
+    payload: flat numpy arrays plus a JSON-able meta dict — exactly what the
+    ``.npz`` spill carries, so pool and inline execution share this one code
+    path.
+    """
+    rng = np.random.default_rng([int(seed), int(shard_id)])
+    tree = QueryKDTree(Q, height, start_dim=start_dim)
+
+    aqc_cache: dict[int, float] = {}
+    if quota is not None and tree.n_leaves > quota:
+        merge_leaves(tree, y, quota, max_pairs=AQC_MAX_PAIRS, rng=rng, aqc_cache=aqc_cache)
+
+    leaves = tree.leaves()
+    aqcs = np.empty(len(leaves), dtype=np.float64)
+    for i, leaf in enumerate(leaves):
+        if id(leaf) in aqc_cache:
+            aqcs[i] = aqc_cache[id(leaf)]
+        else:
+            idx = leaf.indices
+            aqcs[i] = average_query_change(
+                Q[idx], y[idx], max_pairs=AQC_MAX_PAIRS, rng=rng
+            )
+
+    seeds = [
+        (int(rng.integers(0, 2**31 - 1)), int(rng.integers(0, 2**31 - 1)))
+        for _ in leaves
+    ]
+    models = [MLP(arch, seed=s0) for s0, _ in seeds]
+    result = StackedTrainer(cfg).fit(
+        models,
+        [Q[leaf.indices] for leaf in leaves],
+        [y[leaf.indices] for leaf in leaves],
+        seeds=[s1 for _, s1 in seeds],
+    )
+
+    # Encode: preorder structure + ragged per-leaf local indices + weights.
+    node_dim: list[int] = []
+    node_val: list[float] = []
+    leaf_rows: list[np.ndarray] = []
+
+    def encode(node: KDNode) -> None:
+        if node.is_leaf:
+            node_dim.append(-1)
+            node_val.append(0.0)
+            leaf_rows.append(np.asarray(node.indices, dtype=np.int64))
+            return
+        node_dim.append(int(node.dim))
+        node_val.append(float(node.val))
+        encode(node.left)
+        encode(node.right)
+
+    encode(tree.root)
+    offsets = np.zeros(len(leaf_rows) + 1, dtype=np.int64)
+    np.cumsum([rows.size for rows in leaf_rows], out=offsets[1:])
+
+    arrays: dict[str, np.ndarray] = {
+        "node_dim": np.asarray(node_dim, dtype=np.int64),
+        "node_val": np.asarray(node_val, dtype=np.float64),
+        "leaf_rows": (
+            np.concatenate(leaf_rows) if leaf_rows else np.empty(0, dtype=np.int64)
+        ),
+        "leaf_offsets": offsets,
+        "aqcs": aqcs,
+    }
+    stacked = result.stacked
+    for li, (w, b) in enumerate(zip(stacked.W, stacked.b)):
+        arrays[f"W{li}"] = w
+        arrays[f"b{li}"] = b
+    if result.x_scaler is not None:
+        arrays["x_mean"] = result.x_scaler.mean_
+        arrays["x_scale"] = result.x_scaler.scale_
+    if result.y_scaler is not None:
+        arrays["y_mean"] = result.y_scaler.mean_
+        arrays["y_scale"] = result.y_scaler.scale_
+    meta = {
+        "format": RESULT_FORMAT,
+        "shard_id": int(shard_id),
+        "n_leaves": len(leaves),
+        "n_layers": len(arch) - 1,
+        "arch": [int(a) for a in arch],
+        "has_x_scaler": result.x_scaler is not None,
+        "has_y_scaler": result.y_scaler is not None,
+    }
+    return arrays, meta
+
+
+# --------------------------------------------------------------- npz spills
+
+
+def _save_payload(path: str, arrays: dict[str, np.ndarray], meta: dict) -> None:
+    """Write an uncompressed ``.npz`` payload with a JSON meta sidecar array
+    (same pattern as :meth:`CompiledSketch.save_npz`)."""
+    out = dict(arrays)
+    out["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    with open(path, "wb") as fh:
+        np.savez(fh, **out)
+
+
+def _load_payload(path: str, expected_format: str) -> tuple[dict[str, np.ndarray], dict]:
+    with np.load(path) as payload:
+        if "meta" not in payload.files:
+            raise ValueError(f"not a shard npz payload: {path}")
+        meta = json.loads(bytes(payload["meta"]).decode("utf-8"))
+        if meta.get("format") != expected_format:
+            raise ValueError(
+                f"expected {expected_format!r} payload, got {meta.get('format')!r}"
+            )
+        arrays = {name: payload[name] for name in payload.files if name != "meta"}
+    return arrays, meta
+
+
+def _encode_task(
+    spec: ShardSpec, Q: np.ndarray, y: np.ndarray, seed: int, arch: list[int], cfg: TrainConfig
+) -> tuple[dict[str, np.ndarray], dict]:
+    arrays = {"Q": Q[spec.indices], "y": y[spec.indices]}
+    meta = {
+        "format": TASK_FORMAT,
+        "shard_id": spec.shard_id,
+        "seed": int(seed),
+        "height": spec.height,
+        "start_dim": spec.start_dim,
+        "quota": -1 if spec.quota is None else int(spec.quota),
+        "arch": [int(a) for a in arch],
+        "cfg": asdict(cfg),
+    }
+    return arrays, meta
+
+
+def _shard_worker(paths: tuple[str, str]) -> str:
+    """Pool entry point: ``.npz`` task spill in, ``.npz`` result spill out."""
+    in_path, out_path = paths
+    arrays, meta = _load_payload(in_path, TASK_FORMAT)
+    quota = meta["quota"]
+    result_arrays, result_meta = run_shard(
+        arrays["Q"],
+        arrays["y"],
+        shard_id=meta["shard_id"],
+        seed=meta["seed"],
+        height=meta["height"],
+        start_dim=meta["start_dim"],
+        quota=None if quota < 0 else quota,
+        arch=meta["arch"],
+        cfg=TrainConfig(**meta["cfg"]),
+    )
+    _save_payload(out_path, result_arrays, result_meta)
+    return out_path
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# ------------------------------------------------------------------- graft
+
+
+def _decode_subtree(
+    node_dim: np.ndarray, node_val: np.ndarray, leaf_globals: list[np.ndarray]
+) -> KDNode:
+    """Rebuild a shard subtree from its preorder encoding.
+
+    ``leaf_globals[i]`` holds the *global* training rows of the subtree's
+    ``i``-th leaf (left-to-right). Internal nodes recover their index sets as
+    the sorted union of their children — identical to what the sequential
+    build would have stored, because every node's index set is an ascending
+    subset of the build arange.
+    """
+    pos = 0
+    leaf_i = 0
+
+    def rec() -> KDNode:
+        nonlocal pos, leaf_i
+        d = int(node_dim[pos])
+        v = float(node_val[pos])
+        pos += 1
+        if d < 0:
+            node = KDNode(leaf_globals[leaf_i])
+            leaf_i += 1
+            return node
+        node = KDNode(np.empty(0, dtype=np.int64))
+        node.dim = d
+        node.val = v
+        node.left = rec()
+        node.right = rec()
+        node.indices = np.sort(np.concatenate([node.left.indices, node.right.indices]))
+        return node
+
+    root = rec()
+    if pos != node_dim.shape[0] or leaf_i != len(leaf_globals):
+        raise ValueError("corrupt shard subtree encoding")
+    return root
+
+
+def _subtree_leaves(node: KDNode) -> list[KDNode]:
+    out: list[KDNode] = []
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        if n.is_leaf:
+            out.append(n)
+        else:
+            stack.append(n.right)
+            stack.append(n.left)
+    return out[::-1]
+
+
+# -------------------------------------------------------------------- build
+
+
+def build_sharded(
+    Q_train: np.ndarray,
+    y_train: np.ndarray,
+    *,
+    tree_height: int,
+    n_partitions: int | None,
+    arch: list[int],
+    train_config: TrainConfig,
+    seed: int,
+    n_shards: int,
+    workers: int = 1,
+) -> ParallelBuildResult:
+    """The full sharded construction pipeline (see the module docstring).
+
+    ``workers`` is the number of pool processes to use *as given* — callers
+    decide how to clamp against the machine (``NeuroSketch.fit`` clamps to
+    ``os.cpu_count()``). ``workers <= 1`` executes every shard inline in
+    this process through the exact same task/result payloads, so the built
+    engine is bit-identical either way.
+    """
+    Q_train = np.atleast_2d(np.asarray(Q_train, dtype=np.float64))
+    y_train = np.asarray(y_train, dtype=np.float64).ravel()
+    if y_train.shape[0] != Q_train.shape[0]:
+        raise ValueError("Q_train and y_train must have matching length")
+    cfg = train_config
+
+    t0 = time.perf_counter()
+    top, frontiers, specs = plan_shards(Q_train, tree_height, n_shards, n_partitions)
+    k = len(specs)
+    plan_s = time.perf_counter() - t0
+
+    # --- run the shards (pool with .npz spills, or inline) ---------------
+    t0 = time.perf_counter()
+    workers = max(1, min(int(workers), k))
+    spill_bytes = 0
+    if workers > 1:
+        tmpdir = tempfile.mkdtemp(prefix="repro-shard-")
+        try:
+            jobs = []
+            for spec in specs:
+                in_path = os.path.join(tmpdir, f"task-{spec.shard_id}.npz")
+                out_path = os.path.join(tmpdir, f"result-{spec.shard_id}.npz")
+                arrays, meta = _encode_task(spec, Q_train, y_train, seed, arch, cfg)
+                _save_payload(in_path, arrays, meta)
+                spill_bytes += os.path.getsize(in_path)
+                jobs.append((in_path, out_path))
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            ) as pool:
+                out_paths = list(pool.map(_shard_worker, jobs))
+            results = [_load_payload(p, RESULT_FORMAT) for p in out_paths]
+            spill_bytes += sum(os.path.getsize(p) for p in out_paths)
+        finally:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+        mode = "pool"
+    else:
+        results = [
+            run_shard(
+                Q_train[spec.indices],
+                y_train[spec.indices],
+                shard_id=spec.shard_id,
+                seed=seed,
+                height=spec.height,
+                start_dim=spec.start_dim,
+                quota=spec.quota,
+                arch=arch,
+                cfg=cfg,
+            )
+            for spec in specs
+        ]
+        mode = "inline"
+    shard_s = time.perf_counter() - t0
+
+    # --- graft the subtrees back into the top tree -----------------------
+    t0 = time.perf_counter()
+    tree = top
+    aqc_cache: dict[int, float] = {}
+    leaf_src: dict[int, tuple[int, int]] = {}  # id(leaf) -> (shard, slot)
+    for spec, frontier, (arrays, meta) in zip(specs, frontiers, results):
+        offsets = arrays["leaf_offsets"]
+        leaf_globals = [
+            spec.indices[arrays["leaf_rows"][offsets[i] : offsets[i + 1]]]
+            for i in range(meta["n_leaves"])
+        ]
+        sub = _decode_subtree(arrays["node_dim"], arrays["node_val"], leaf_globals)
+        if not sub.is_leaf:
+            frontier.dim = sub.dim
+            frontier.val = sub.val
+            frontier.left = sub.left
+            frontier.right = sub.right
+        for slot, leaf in enumerate(_subtree_leaves(frontier)):
+            aqc_cache[id(leaf)] = float(arrays["aqcs"][slot])
+            leaf_src[id(leaf)] = (spec.shard_id, slot)
+    tree.relabel_leaves()
+    pre_merge_leaves = tree.n_leaves
+
+    # --- cross-boundary Alg.-3 merge, seeded AQCs reused -----------------
+    rng = np.random.default_rng([int(seed), k])
+    if n_partitions is not None and tree.n_leaves > n_partitions:
+        merge_leaves(
+            tree, y_train, n_partitions, max_pairs=AQC_MAX_PAIRS, rng=rng, aqc_cache=aqc_cache
+        )
+    leaves = tree.leaves()
+    merged = [i for i, leaf in enumerate(leaves) if id(leaf) not in leaf_src]
+    merge_s = time.perf_counter() - t0
+
+    # --- retrain leaves created by the cross-boundary merge --------------
+    t0 = time.perf_counter()
+    retrain = None
+    if merged:
+        retrain_seeds = [
+            (int(rng.integers(0, 2**31 - 1)), int(rng.integers(0, 2**31 - 1)))
+            for _ in merged
+        ]
+        models = [MLP(arch, seed=s0) for s0, _ in retrain_seeds]
+        retrain = StackedTrainer(cfg).fit(
+            models,
+            [Q_train[leaves[i].indices] for i in merged],
+            [y_train[leaves[i].indices] for i in merged],
+            seeds=[s1 for _, s1 in retrain_seeds],
+        )
+    for leaf in leaves:
+        if id(leaf) not in aqc_cache:
+            idx = leaf.indices
+            aqc_cache[id(leaf)] = average_query_change(
+                Q_train[idx], y_train[idx], max_pairs=AQC_MAX_PAIRS, rng=rng
+            )
+    retrain_s = time.perf_counter() - t0
+
+    # --- assemble the final stack in leaf order --------------------------
+    t0 = time.perf_counter()
+    n_leaves = len(leaves)
+    input_dim = int(arch[0])
+    n_layers = len(arch) - 1
+    W = [np.empty((n_leaves, arch[li], arch[li + 1])) for li in range(n_layers)]
+    b = [np.empty((n_leaves, arch[li + 1])) for li in range(n_layers)]
+    has_x = cfg.standardize_inputs
+    has_y = cfg.standardize_targets
+    x_mean = np.zeros((n_leaves, input_dim)) if has_x else None
+    x_scale = np.ones((n_leaves, input_dim)) if has_x else None
+    y_mean = np.zeros(n_leaves) if has_y else None
+    y_scale = np.ones(n_leaves) if has_y else None
+    merged_slot = {i: j for j, i in enumerate(merged)}
+    for i, leaf in enumerate(leaves):
+        if id(leaf) in leaf_src:
+            shard, slot = leaf_src[id(leaf)]
+            arrays, _ = results[shard]
+            for li in range(n_layers):
+                W[li][i] = arrays[f"W{li}"][slot]
+                b[li][i] = arrays[f"b{li}"][slot]
+            if has_x:
+                x_mean[i] = arrays["x_mean"][slot]
+                x_scale[i] = arrays["x_scale"][slot]
+            if has_y:
+                y_mean[i] = arrays["y_mean"][slot]
+                y_scale[i] = arrays["y_scale"][slot]
+        else:
+            j = merged_slot[i]
+            for li in range(n_layers):
+                W[li][i] = retrain.stacked.W[li][j]
+                b[li][i] = retrain.stacked.b[li][j]
+            if has_x:
+                x_mean[i] = retrain.x_scaler.mean_[j]
+                x_scale[i] = retrain.x_scaler.scale_[j]
+            if has_y:
+                y_mean[i] = retrain.y_scaler.mean_[j]
+                y_scale[i] = retrain.y_scaler.scale_[j]
+
+    stacked = StackedMLP(list(arch), W, b)
+    x_scaler = None
+    if has_x:
+        x_scaler = StackedStandardScaler()
+        x_scaler.mean_, x_scaler.scale_ = x_mean, x_scale
+    y_scaler = None
+    if has_y:
+        y_scaler = StackedStandardScaler()
+        y_scaler.mean_, y_scaler.scale_ = y_mean, y_scale
+    compiled = CompiledSketch.from_stack(
+        tree, stacked, x_scaler=x_scaler, y_scaler=y_scaler, dtype="float64"
+    )
+
+    regressors: dict[int, TrainedRegressor] = {}
+    n_train: dict[int, int] = {}
+    leaf_aqcs: dict[int, float] = {}
+    for i, leaf in enumerate(leaves):
+        model = MLP(list(arch), seed=0)
+        for li, layer in enumerate(model.dense_layers):
+            layer.W[...] = W[li][i]
+            layer.b[...] = b[li][i]
+        regressors[leaf.leaf_id] = TrainedRegressor(
+            model,
+            x_scaler.scaler_for(i) if x_scaler else None,
+            y_scaler.scaler_for(i) if y_scaler else None,
+        )
+        n_train[leaf.leaf_id] = int(leaf.indices.size)
+        leaf_aqcs[leaf.leaf_id] = aqc_cache[id(leaf)]
+    assemble_s = time.perf_counter() - t0
+
+    report = {
+        "mode": mode,
+        "n_shards": k,
+        "workers": workers,
+        "shard_rows": [int(spec.indices.size) for spec in specs],
+        "shard_quota": specs[0].quota,
+        "pre_merge_leaves": int(pre_merge_leaves),
+        "n_leaves": int(n_leaves),
+        "boundary_merged_leaves": len(merged),
+        "spill_bytes": int(spill_bytes),
+        "timings_s": {
+            "plan": plan_s,
+            "shards": shard_s,
+            "merge": merge_s,
+            "retrain": retrain_s,
+            "assemble": assemble_s,
+        },
+    }
+    return ParallelBuildResult(tree, regressors, n_train, leaf_aqcs, compiled, report)

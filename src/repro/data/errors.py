@@ -1,0 +1,47 @@
+"""Dataset availability errors and warnings.
+
+The paper's real datasets (TPC-DS ``store_sales``, the Veraset visits) need
+raw files this repository cannot ship. Loaders asked for real data
+(``source="raw"``) raise :class:`DatasetUnavailable` — with instructions for
+obtaining the file — instead of silently degrading to the simulators;
+``source="auto"`` falls back to simulation but says so through
+:class:`DatasetFallbackWarning` so a benchmark run can never mistake
+synthetic-like data for the real thing.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable pointing at the directory holding raw dataset files.
+DATA_DIR_ENV = "REPRO_DATA_DIR"
+
+#: Default raw-data directory (relative to the working directory).
+DEFAULT_DATA_DIR = "data"
+
+
+class DatasetUnavailable(RuntimeError):
+    """A raw dataset file is required but absent (or unsupported)."""
+
+
+class DatasetFallbackWarning(UserWarning):
+    """``source="auto"`` fell back from raw data to the simulator."""
+
+
+def data_dir() -> str:
+    """Directory searched for raw dataset files (``$REPRO_DATA_DIR`` or
+    ``./data``)."""
+    return os.environ.get(DATA_DIR_ENV, DEFAULT_DATA_DIR)
+
+
+def resolve_raw_path(filename: str, path: str | None, hint: str) -> str:
+    """Resolve an explicit or default raw-file path, raising
+    :class:`DatasetUnavailable` with ``hint`` when the file does not exist."""
+    candidate = path if path is not None else os.path.join(data_dir(), filename)
+    if not os.path.isfile(candidate):
+        raise DatasetUnavailable(
+            f"raw dataset file not found: {candidate!r}. {hint} "
+            f"(set ${DATA_DIR_ENV} or pass an explicit path; pass "
+            f"source='simulate' to use the simulator instead)"
+        )
+    return candidate

@@ -8,13 +8,15 @@ parameterizes ``n`` explicitly.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 from repro.data.dataset import Dataset
+from repro.data.errors import DatasetFallbackWarning, DatasetUnavailable
 from repro.data.pm25 import make_pm25
 from repro.data.synthetic import make_gmm_dataset
-from repro.data.tpcds import make_store_sales
-from repro.data.veraset import make_veraset
+from repro.data.tpcds import load_store_sales_raw, make_store_sales
+from repro.data.veraset import load_veraset_raw, make_veraset
 
 #: Row counts and dimensionalities reported in the paper's Table 1.
 PAPER_SIZES: dict[str, tuple[int, int]] = {
@@ -50,6 +52,13 @@ _BUILDERS: dict[str, Callable[[int, int], Dataset]] = {
 
 DATASET_NAMES: tuple[str, ...] = tuple(_BUILDERS)
 
+#: Datasets with a real raw-file loader (everything else is simulation-only).
+_RAW_LOADERS: dict[str, Callable[[int | None, str], Dataset]] = {
+    "TPC1": lambda n, name: load_store_sales_raw(n=n, name=name),
+    "TPC10": lambda n, name: load_store_sales_raw(n=n, name=name),
+    "VS": lambda n, name: load_veraset_raw(n=n, name=name),
+}
+
 #: Friendly lowercase aliases accepted anywhere a dataset name is (CLI, eval).
 DATASET_ALIASES: dict[str, str] = {
     "synthetic": "G5",
@@ -83,10 +92,38 @@ def resolve_dataset_name(name: str) -> str:
     )
 
 
-def load_dataset(name: str, n: int | None = None, seed: int = 0) -> Dataset:
-    """Build one of the paper's datasets by name (see :data:`DATASET_NAMES`)."""
+def load_dataset(
+    name: str, n: int | None = None, seed: int = 0, source: str = "simulate"
+) -> Dataset:
+    """Build one of the paper's datasets by name (see :data:`DATASET_NAMES`).
+
+    ``source`` selects data provenance for the datasets that have real
+    counterparts (TPC-DS, Veraset): ``"simulate"`` (default) always runs the
+    simulator; ``"raw"`` requires the raw file and raises
+    :class:`~repro.data.errors.DatasetUnavailable` — including for datasets
+    that are simulation-only — instead of silently degrading; ``"auto"``
+    prefers raw and warns when falling back.
+    """
+    if source not in ("simulate", "raw", "auto"):
+        raise ValueError(f"source must be 'simulate', 'raw' or 'auto', got {source!r}")
     name = resolve_dataset_name(name)
     n = n if n is not None else DEFAULT_SIZES[name]
+    if source == "raw":
+        if name not in _RAW_LOADERS:
+            raise DatasetUnavailable(
+                f"dataset {name!r} has no raw counterpart; it exists only as a "
+                "simulator (source='simulate')"
+            )
+        return _RAW_LOADERS[name](n, name)
+    if source == "auto" and name in _RAW_LOADERS:
+        try:
+            return _RAW_LOADERS[name](n, name)
+        except DatasetUnavailable as exc:
+            warnings.warn(
+                f"falling back to the {name} simulator: {exc}",
+                DatasetFallbackWarning,
+                stacklevel=2,
+            )
     return _BUILDERS[name](n, seed)
 
 

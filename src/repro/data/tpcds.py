@@ -21,9 +21,16 @@ ratio (see DESIGN.md).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.data.errors import (
+    DatasetFallbackWarning,
+    DatasetUnavailable,
+    resolve_raw_path,
+)
 
 STORE_SALES_COLUMNS = (
     "quantity",
@@ -44,16 +51,75 @@ STORE_SALES_COLUMNS = (
 #: Real TPC-DS store_sales row counts per scale factor (for reference only).
 ROWS_PER_SCALE_FACTOR = 2_650_000
 
+#: dsdgen's pipe-delimited ``store_sales.dat``: the 13 numeric attributes are
+#: columns 10..22 (0-based), ``ss_quantity`` through ``ss_net_profit``.
+RAW_FILENAME = "store_sales.dat"
+_RAW_USECOLS = tuple(range(10, 23))
+_RAW_HINT = (
+    "Generate it with the official TPC-DS dsdgen "
+    "(https://www.tpc.org/tpcds/, e.g. `dsdgen -scale 1 -table store_sales`) "
+    "and place store_sales.dat in the data directory."
+)
+
+
+def load_store_sales_raw(
+    path: str | None = None,
+    n: int | None = None,
+    name: str = "TPC1",
+) -> Dataset:
+    """Load real ``store_sales`` numeric columns from a dsdgen ``.dat`` file.
+
+    Raises :class:`~repro.data.errors.DatasetUnavailable` (with the dsdgen
+    download hint) when the file is absent — never a silent downgrade to the
+    simulator. Rows with missing numeric attributes (dsdgen emits empty
+    fields for SQL NULLs) are dropped; ``n`` truncates to the first ``n``
+    complete rows.
+    """
+    resolved = resolve_raw_path(RAW_FILENAME, path, _RAW_HINT)
+    raw = np.genfromtxt(
+        resolved, delimiter="|", usecols=_RAW_USECOLS, dtype=np.float64
+    )
+    raw = np.atleast_2d(raw)
+    raw = raw[~np.isnan(raw).any(axis=1)]
+    if raw.shape[0] == 0:
+        raise DatasetUnavailable(
+            f"raw dataset file {resolved!r} contains no complete numeric rows"
+        )
+    if n is not None:
+        raw = raw[: int(n)]
+    return Dataset(raw, STORE_SALES_COLUMNS, measure="net_profit", name=name)
+
 
 def make_store_sales(
     n: int = 100_000,
     seed: int = 0,
     name: str = "TPC1",
+    source: str = "simulate",
+    path: str | None = None,
 ) -> Dataset:
-    """Simulate ``n`` rows of ``store_sales`` numeric columns.
+    """Build ``n`` rows of ``store_sales`` numeric columns.
 
-    The measure attribute is ``net_profit``.
+    The measure attribute is ``net_profit``. ``source`` picks where the rows
+    come from: ``"simulate"`` (default) runs the pricing-arithmetic
+    simulator below; ``"raw"`` loads a real dsdgen file via
+    :func:`load_store_sales_raw` and raises
+    :class:`~repro.data.errors.DatasetUnavailable` when it is absent;
+    ``"auto"`` prefers the raw file but falls back to the simulator with a
+    :class:`~repro.data.errors.DatasetFallbackWarning`.
     """
+    if source not in ("simulate", "raw", "auto"):
+        raise ValueError(f"source must be 'simulate', 'raw' or 'auto', got {source!r}")
+    if source == "raw":
+        return load_store_sales_raw(path, n=n, name=name)
+    if source == "auto":
+        try:
+            return load_store_sales_raw(path, n=n, name=name)
+        except DatasetUnavailable as exc:
+            warnings.warn(
+                f"falling back to the store_sales simulator: {exc}",
+                DatasetFallbackWarning,
+                stacklevel=2,
+            )
     rng = np.random.default_rng(seed)
 
     quantity = rng.integers(1, 101, size=n).astype(np.float64)

@@ -23,12 +23,60 @@ exposed as :func:`make_veraset_from_signals` and validated in tests.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.data.errors import (
+    DatasetFallbackWarning,
+    DatasetUnavailable,
+    resolve_raw_path,
+)
 from repro.data.staypoints import detect_staypoints
 
 VS_COLUMNS = ("lat", "lon", "duration")
+
+#: Expected raw file: a CSV of extracted stay points with columns
+#: ``lat,lon,duration`` (duration in hours), one visit per line, optional
+#: header. The upstream Veraset signals are proprietary; this is the
+#: post-stay-point-detection form (what :mod:`repro.data.staypoints`
+#: produces from raw signals).
+RAW_FILENAME = "veraset_visits.csv"
+_RAW_HINT = (
+    "Veraset signal data is proprietary (https://www.veraset.com/) and "
+    "cannot be redistributed; export your licensed signals through "
+    "stay-point detection (repro.data.staypoints) to a lat,lon,duration "
+    "CSV named veraset_visits.csv."
+)
+
+
+def load_veraset_raw(
+    path: str | None = None,
+    n: int | None = None,
+    name: str = "VS",
+) -> Dataset:
+    """Load real location visits from a ``lat,lon,duration`` CSV.
+
+    Raises :class:`~repro.data.errors.DatasetUnavailable` (with provenance
+    instructions) when the file is absent — never a silent downgrade to the
+    simulator. A non-numeric first line is treated as a header; rows with
+    missing values are dropped; ``n`` truncates to the first ``n`` rows.
+    """
+    resolved = resolve_raw_path(RAW_FILENAME, path, _RAW_HINT)
+    raw = np.genfromtxt(
+        resolved, delimiter=",", usecols=(0, 1, 2), dtype=np.float64, skip_header=0
+    )
+    raw = np.atleast_2d(raw)
+    # A header line parses as NaNs and is dropped with any incomplete rows.
+    raw = raw[~np.isnan(raw).any(axis=1)]
+    if raw.shape[0] == 0:
+        raise DatasetUnavailable(
+            f"raw dataset file {resolved!r} contains no numeric lat,lon,duration rows"
+        )
+    if n is not None:
+        raw = raw[: int(n)]
+    return Dataset(raw, VS_COLUMNS, measure="duration", name=name)
 
 #: Downtown Houston bounding box used by the paper's running example.
 HOUSTON_BBOX = (29.74, 29.77, -95.38, -95.35)  # (lat_lo, lat_hi, lon_lo, lon_hi)
@@ -79,12 +127,32 @@ def make_veraset(
     n_pois: int = 400,
     bbox: tuple[float, float, float, float] = HOUSTON_BBOX,
     min_duration_h: float = 0.25,
+    source: str = "simulate",
+    path: str | None = None,
 ) -> Dataset:
-    """Simulate ``n`` location visits (lat, lon, duration-in-hours).
+    """Build ``n`` location visits (lat, lon, duration-in-hours).
 
-    Visits below ``min_duration_h`` (15 minutes, the stay-point threshold)
+    ``source="simulate"`` (default) samples from the planted POI model;
+    visits below ``min_duration_h`` (15 minutes, the stay-point threshold)
     are resampled away, matching the paper's extraction pipeline.
+    ``source="raw"`` loads a real visits CSV via :func:`load_veraset_raw`
+    and raises :class:`~repro.data.errors.DatasetUnavailable` when it is
+    absent; ``"auto"`` prefers the raw file but falls back to the simulator
+    with a :class:`~repro.data.errors.DatasetFallbackWarning`.
     """
+    if source not in ("simulate", "raw", "auto"):
+        raise ValueError(f"source must be 'simulate', 'raw' or 'auto', got {source!r}")
+    if source == "raw":
+        return load_veraset_raw(path, n=n, name=name)
+    if source == "auto":
+        try:
+            return load_veraset_raw(path, n=n, name=name)
+        except DatasetUnavailable as exc:
+            warnings.warn(
+                f"falling back to the Veraset visit simulator: {exc}",
+                DatasetFallbackWarning,
+                stacklevel=2,
+            )
     rng = np.random.default_rng(seed)
     locations, popularity, mean_h, shape = _poi_model(rng, n_pois, bbox)
 

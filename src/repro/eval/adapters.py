@@ -89,6 +89,8 @@ class NeuroSketchEstimator(NeuroSketch):
         patience: int = 15,
         min_delta: float = 1e-6,
         train_backend: str = "stacked",
+        build_workers: int = 1,
+        build_shards: int | None = None,
         seed: int = 0,
         compile: bool = True,
         infer_dtype: str = "float64",
@@ -114,6 +116,8 @@ class NeuroSketchEstimator(NeuroSketch):
         resolve_dtype(infer_dtype)  # fail on a bad tier before any training
         self.compile_enabled = bool(compile)
         self.infer_dtype = str(infer_dtype)
+        self.build_workers = int(build_workers)
+        self.build_shards = None if build_shards is None else int(build_shards)
 
     @property
     def sketch(self) -> NeuroSketch:
@@ -121,7 +125,13 @@ class NeuroSketchEstimator(NeuroSketch):
         return self
 
     def fit(self, query_function=None, Q_train=None, y_train=None) -> "NeuroSketchEstimator":
-        super().fit(query_function, Q_train, y_train)
+        super().fit(
+            query_function,
+            Q_train,
+            y_train,
+            build_workers=self.build_workers,
+            build_shards=self.build_shards,
+        )
         if self.compile_enabled:
             # Compilation is part of the build, so build-time measurements
             # include it (it is orders of magnitude cheaper than training).
@@ -215,6 +225,8 @@ def _make_neurosketch(**kw) -> Estimator:
         patience=kw.get("patience", 15),
         min_delta=kw.get("min_delta", 1e-6),
         train_backend=kw.get("train_backend", "stacked"),
+        build_workers=kw.get("build_workers", 1),
+        build_shards=kw.get("build_shards"),
         seed=kw["seed"],
         compile=kw.get("compile", True),
         infer_dtype=kw.get("infer_dtype", "float64"),

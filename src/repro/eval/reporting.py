@@ -113,10 +113,27 @@ def format_result_table(result: ExperimentResult) -> str:
     )
     footer = ""
     for est in result.estimators:
-        line = _fmt_concurrent_line(est)
-        if line:
-            footer += f"\n{est.name} {line}"
+        for line in (_fmt_concurrent_line(est), _fmt_parallel_line(est)):
+            if line:
+                footer += f"\n{est.name} {line}"
     return header + _table(headers, rows) + footer
+
+
+def _fmt_parallel_line(est) -> str | None:
+    """One-line sharded-build summary (None without a parallel block)."""
+    par = (est.build or {}).get("parallel")
+    if not par:
+        return None
+    return (
+        f"parallel build: {par['shards']} shards on {par['effective_workers']} "
+        f"worker(s) ({par['mode']}) -> "
+        f"{_fmt_seconds(par['parallel_build_s'])} vs "
+        f"{_fmt_seconds(par['single_build_s'])} single-process "
+        f"({par['speedup_vs_single']:.2f}x), "
+        f"nMAE {par['parallel_normalized_mae']:.4f} vs "
+        f"{par['single_normalized_mae']:.4f}, "
+        f"{par['boundary_merged_leaves']} boundary-merged leaves"
+    )
 
 
 def _fmt_concurrent_line(est) -> str | None:

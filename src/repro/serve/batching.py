@@ -24,6 +24,10 @@ from concurrent.futures import Future
 
 import numpy as np
 
+#: Flush threshold ``"auto"`` mode starts from before the engine has
+#: observed any batches (matches the fixed-mode default).
+AUTO_DEFAULT_BATCH = 64
+
 
 class MicroBatcher:
     """Accumulates query blocks and flushes them through one ``predict``.
@@ -36,7 +40,19 @@ class MicroBatcher:
         batched use (:class:`~repro.core.compiled.CompiledSketch` is — each
         call checks a private execution context out of its replica pool).
     max_batch_size:
-        Pending-row count that triggers an immediate flush.
+        Pending-row count that triggers an immediate flush. The string
+        ``"auto"`` derives the threshold from the engine's observed
+        segment-size distribution instead of a fixed constant: after every
+        flush, ``segment_hint`` is polled and the threshold follows its
+        suggestion, so micro-batches grow to land full segments on every
+        occupied leaf (starting from ``AUTO_DEFAULT_BATCH`` until the
+        engine has observed anything).
+    segment_hint:
+        Optional zero-argument callable returning the engine's currently
+        suggested flush threshold (e.g. ``lambda:
+        engine.segment_stats()["suggested_max_batch"]``). Only consulted in
+        ``"auto"`` mode; errors and non-positive suggestions are ignored
+        (the hint is advisory — serving never fails on a stats poll).
     max_delay_s:
         Longest time a pending block may wait before the worker flushes it;
         ``0`` flushes as soon as the worker wakes.
@@ -58,18 +74,29 @@ class MicroBatcher:
     def __init__(
         self,
         predict,
-        max_batch_size: int = 64,
+        max_batch_size: int | str = 64,
         max_delay_s: float = 2e-3,
         dtype=np.float64,
         workers: int = 1,
+        segment_hint=None,
     ) -> None:
-        if max_batch_size < 1:
-            raise ValueError("max_batch_size must be >= 1")
+        if isinstance(max_batch_size, str):
+            if max_batch_size != "auto":
+                raise ValueError(
+                    f"max_batch_size must be an int >= 1 or 'auto', got {max_batch_size!r}"
+                )
+            self.auto = True
+            max_batch_size = AUTO_DEFAULT_BATCH
+        else:
+            self.auto = False
+            if max_batch_size < 1:
+                raise ValueError("max_batch_size must be >= 1")
         if max_delay_s < 0:
             raise ValueError("max_delay_s must be >= 0")
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self._predict = predict
+        self._segment_hint = segment_hint
         self.max_batch_size = int(max_batch_size)
         self.max_delay_s = float(max_delay_s)
         self.dtype = np.dtype(dtype)
@@ -172,6 +199,16 @@ class MicroBatcher:
             self.max_flush_rows = max(self.max_flush_rows, n_rows)
             if failed:
                 self.n_errors += 1
+        if self.auto and self._segment_hint is not None:
+            # Poll outside our lock (the hint typically takes the engine's
+            # pool lock); a bad or failing hint just leaves the threshold.
+            try:
+                suggested = int(self._segment_hint())
+            except Exception:
+                return
+            if suggested >= 1:
+                with self._cond:
+                    self.max_batch_size = suggested
 
     def _take_pending_locked(self) -> list[tuple[np.ndarray, Future, bool]]:
         batch = self._pending
@@ -251,6 +288,7 @@ class MicroBatcher:
                 "n_errors": self.n_errors,
                 "pending_rows": self._pending_rows,
                 "max_batch_size": self.max_batch_size,
+                "auto_batch": self.auto,
                 "max_delay_s": self.max_delay_s,
                 "workers": self.workers,
             }

@@ -105,7 +105,11 @@ class SketchService:
     Parameters
     ----------
     max_batch_size, max_delay_s:
-        Micro-batching triggers (see :class:`MicroBatcher`).
+        Micro-batching triggers (see :class:`MicroBatcher`). Pass
+        ``"auto"`` to derive each sketch's flush threshold from its
+        engine's observed segment-size distribution
+        (:meth:`~repro.core.compiled.CompiledSketch.segment_stats`);
+        sketches without ``segment_stats`` keep the fixed default.
     cache:
         ``True`` (default) gives every registered sketch its own
         :class:`AnswerCache`; ``False`` disables caching; an
@@ -137,7 +141,7 @@ class SketchService:
 
     def __init__(
         self,
-        max_batch_size: int = 64,
+        max_batch_size: int | str = 64,
         max_delay_s: float = 2e-3,
         cache: bool | AnswerCache = True,
         cache_resolution: float = 1e-4,
@@ -153,7 +157,14 @@ class SketchService:
             resolve_dtype(infer_dtype)
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        self.max_batch_size = int(max_batch_size)
+        if isinstance(max_batch_size, str):
+            if max_batch_size != "auto":
+                raise ValueError(
+                    f"max_batch_size must be an int >= 1 or 'auto', got {max_batch_size!r}"
+                )
+            self.max_batch_size: int | str = "auto"
+        else:
+            self.max_batch_size = int(max_batch_size)
         self.max_delay_s = float(max_delay_s)
         self.workers = int(workers)
         self.allow_mutations = bool(allow_mutations)
@@ -205,11 +216,18 @@ class SketchService:
                 max_entries=self._cache_entries,
                 exact=self._cache_exact,
             )
+        segment_hint = None
+        if self.max_batch_size == "auto":
+            segment_stats = getattr(sketch, "segment_stats", None)
+            if callable(segment_stats):
+                segment_hint = lambda: segment_stats()["suggested_max_batch"]  # noqa: E731
+        # Without a hint, "auto" degrades to the fixed default threshold.
         batcher = MicroBatcher(
             sketch.predict,
             max_batch_size=self.max_batch_size,
             max_delay_s=self.max_delay_s,
             workers=self.workers,
+            segment_hint=segment_hint,
         )
         self._entries[key] = _Entry(key, sketch, batcher, cache, cache_ns)
         if default or self._default is None:

@@ -132,6 +132,16 @@ def load_worker_sketch(path: str, dtype: str | None = None):
     return load_sketch(path, dtype=dtype)
 
 
+def _parse_max_batch(spec: str) -> int | str:
+    """An integer flush trigger or ``auto`` (segment-stats driven)."""
+    if spec.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(spec)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer or 'auto', got {spec!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-serve-worker",
@@ -142,7 +152,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="execution tier (default: the artifact's recorded tier)")
     parser.add_argument("--workers", type=int, default=4,
                         help="micro-batch flush workers inside this process")
-    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-batch", type=_parse_max_batch, default=64,
+                        help="micro-batch flush trigger (an integer or 'auto')")
     parser.add_argument("--max-delay-ms", type=float, default=2.0)
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--cache-resolution", type=float, default=1e-4)

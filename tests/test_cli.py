@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
 
 
 def test_run_writes_bench_file(tmp_path, capsys):
@@ -517,3 +517,38 @@ def test_run_save_stream_flag_validation(tmp_path, capsys):
     )
     assert rc == 2
     assert "--no-stream-bench" in capsys.readouterr().err
+
+
+def test_run_build_workers_lands_in_bench(tmp_path):
+    rc = main(
+        [
+            "run",
+            "--dataset", "synthetic",
+            "--estimators", "neurosketch",
+            "--fast",
+            "--build-workers", "2",
+            "--n-rows", "400",
+            "--n-train", "60",
+            "--n-test", "20",
+            "--no-stream-bench",
+            "--quiet",
+            "--out-dir", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    payload = json.loads((tmp_path / "BENCH_synthetic.json").read_text())
+    assert payload["config"]["build_workers"] == 2
+    par = payload["estimators"][0]["build"]["parallel"]
+    assert par["shards"] == 2
+    assert par["parallel_build_s"] > 0.0
+    assert "speedup_vs_single" in par
+
+
+def test_serve_max_batch_accepts_auto():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--sketch", "x.npz", "--max-batch", "auto"])
+    assert args.max_batch == "auto"
+    args = parser.parse_args(["serve", "--sketch", "x.npz", "--max-batch", "32"])
+    assert args.max_batch == 32
+    with pytest.raises(SystemExit):
+        parser.parse_args(["serve", "--sketch", "x.npz", "--max-batch", "turbo"])

@@ -282,3 +282,55 @@ def test_unlabelled_tree_rejected_by_flattener():
         leaf.leaf_id = None
     with pytest.raises(ValueError):
         FlatTree.from_tree(tree)
+
+
+# ------------------------------------------- warm-start & segment statistics
+
+
+def test_predict_one_warm_start_hits_same_leaf_repeats():
+    ns, Q, _ = make_sketch(seed=7, dim=3, height=3)
+    engine = ns.compile()
+    q = Q[0]
+    for _ in range(10):
+        np.testing.assert_allclose(
+            engine.predict_one(q), ns.predict_one(q), rtol=RTOL, atol=ATOL
+        )
+    stats = engine.replica_stats()
+    # First call routes (miss, caches the leaf); the other 9 warm-start.
+    assert stats["warm_misses"] >= 1
+    assert stats["warm_hits"] >= 9
+    assert 0.0 < stats["warm_hit_rate"] <= 1.0
+
+
+def test_predict_one_warm_start_is_exact_across_leaf_changes():
+    """Alternating leaves defeats the cache; answers must stay routed-exact."""
+    ns, Q, _ = make_sketch(seed=8, dim=2, height=2)
+    engine = ns.compile()
+    for q in Q[:40]:
+        np.testing.assert_allclose(
+            engine.predict_one(q), ns.predict_one(q), rtol=RTOL, atol=ATOL
+        )
+    stats = engine.replica_stats()
+    assert stats["warm_hits"] + stats["warm_misses"] == 40
+
+
+def test_segment_stats_observe_batches_and_suggest_threshold():
+    from repro.core.compiled import (
+        DEFAULT_MAX_BATCH,
+        MAX_AUTO_BATCH,
+        MIN_AUTO_BATCH,
+    )
+
+    ns, Q, _ = make_sketch(seed=9, dim=3, height=3)
+    engine = ns.compile()
+    idle = engine.segment_stats()
+    assert idle["batches"] == 0
+    assert idle["suggested_max_batch"] == DEFAULT_MAX_BATCH  # no data yet
+    engine.predict(Q)
+    engine.predict(Q[:32])
+    stats = engine.segment_stats()
+    assert stats["batches"] == 2
+    assert stats["rows"] == Q.shape[0] + 32
+    assert stats["segments"] >= 2
+    assert stats["mean_segment_rows"] > 0
+    assert MIN_AUTO_BATCH <= stats["suggested_max_batch"] <= MAX_AUTO_BATCH

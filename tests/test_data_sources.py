@@ -1,0 +1,128 @@
+"""Raw-vs-simulated dataset provenance: loud failures, warned fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.data.errors import (
+    DATA_DIR_ENV,
+    DatasetFallbackWarning,
+    DatasetUnavailable,
+    resolve_raw_path,
+)
+from repro.data.registry import load_dataset
+from repro.data.tpcds import load_store_sales_raw, make_store_sales
+from repro.data.veraset import load_veraset_raw, make_veraset
+
+
+@pytest.fixture()
+def data_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path))
+    return tmp_path
+
+
+def _write_store_sales(path, rows):
+    """dsdgen-style pipe-delimited lines: 10 key columns then 13 numerics."""
+    with open(path, "w") as fh:
+        for row in rows:
+            fh.write("|".join([""] * 10 + [f"{v:.2f}" for v in row]) + "\n")
+
+
+# ------------------------------------------------------------- loud failures
+
+
+def test_raw_loaders_raise_with_download_hint(data_dir):
+    with pytest.raises(DatasetUnavailable, match="dsdgen"):
+        load_store_sales_raw()
+    with pytest.raises(DatasetUnavailable, match="stay-point"):
+        load_veraset_raw()
+    # The message points at the escape hatches.
+    with pytest.raises(DatasetUnavailable, match=DATA_DIR_ENV):
+        load_store_sales_raw()
+
+
+def test_source_raw_never_degrades_to_the_simulator(data_dir):
+    with pytest.raises(DatasetUnavailable):
+        make_store_sales(n=10, source="raw")
+    with pytest.raises(DatasetUnavailable):
+        make_veraset(n=10, source="raw")
+    with pytest.raises(DatasetUnavailable):
+        load_dataset("tpcds", n=10, source="raw")
+    # Simulation-only datasets have no raw counterpart at all.
+    with pytest.raises(DatasetUnavailable, match="simulation|simulator|counterpart"):
+        load_dataset("G5", n=10, source="raw")
+
+
+def test_bad_source_rejected():
+    with pytest.raises(ValueError, match="source"):
+        load_dataset("tpcds", n=10, source="download")
+    with pytest.raises(ValueError, match="source"):
+        make_store_sales(n=10, source="download")
+    with pytest.raises(ValueError, match="source"):
+        make_veraset(n=10, source="download")
+
+
+def test_resolve_raw_path_prefers_explicit_path(tmp_path):
+    target = tmp_path / "anything.dat"
+    target.write_text("x")
+    assert resolve_raw_path("ignored.dat", str(target), "hint") == str(target)
+    with pytest.raises(DatasetUnavailable, match="my hint"):
+        resolve_raw_path("ignored.dat", str(tmp_path / "missing.dat"), "my hint")
+
+
+# ------------------------------------------------------------ warned fallback
+
+
+def test_source_auto_warns_then_simulates(data_dir):
+    with pytest.warns(DatasetFallbackWarning, match="store_sales"):
+        ds = make_store_sales(n=50, source="auto")
+    assert ds.raw.shape == (50, 13)
+    with pytest.warns(DatasetFallbackWarning, match="simulator"):
+        ds = load_dataset("veraset", n=40, source="auto")
+    assert ds.raw.shape == (40, 3)
+
+
+def test_source_auto_prefers_the_raw_file(data_dir):
+    rows = np.arange(1, 14, dtype=np.float64)[None, :] * np.ones((5, 1))
+    _write_store_sales(data_dir / "store_sales.dat", rows)
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # no fallback warning may fire
+        ds = load_dataset("tpcds", n=3, source="auto")
+    assert ds.raw.shape == (3, 13)
+    np.testing.assert_allclose(ds.raw, rows[:3])
+
+
+# ------------------------------------------------------------------ raw loads
+
+
+def test_store_sales_raw_drops_null_rows_and_truncates(data_dir):
+    path = data_dir / "store_sales.dat"
+    rows = np.arange(1, 14, dtype=np.float64)[None, :] * np.ones((4, 1))
+    _write_store_sales(path, rows)
+    # dsdgen emits empty fields for SQL NULLs: append one incomplete row.
+    with open(path, "a") as fh:
+        fh.write("|".join([""] * 10 + ["1.0", "", "3.0"] + [""] * 10) + "\n")
+    ds = load_store_sales_raw()
+    assert ds.raw.shape == (4, 13)
+    assert ds.measure == "net_profit"
+    truncated = load_store_sales_raw(n=2)
+    assert truncated.raw.shape == (2, 13)
+
+
+def test_veraset_raw_skips_header_and_loads(data_dir):
+    path = data_dir / "veraset_visits.csv"
+    path.write_text(
+        "lat,lon,duration\n29.75,-95.36,1.5\n29.76,-95.37,2.0\n29.74,-95.35,0.5\n"
+    )
+    ds = load_veraset_raw()
+    assert ds.raw.shape == (3, 3)
+    assert ds.measure == "duration"
+    np.testing.assert_allclose(ds.raw[0], [29.75, -95.36, 1.5])
+    assert make_veraset(n=2, source="raw").raw.shape == (2, 3)
+
+
+def test_raw_file_with_no_numeric_rows_raises(data_dir):
+    (data_dir / "veraset_visits.csv").write_text("lat,lon,duration\n")
+    with pytest.raises(DatasetUnavailable, match="no numeric"):
+        load_veraset_raw()

@@ -434,3 +434,64 @@ def test_stream_block_skipped_without_neurosketch():
         timing_repeats=1,
     )
     assert run_experiment(config).stream is None
+
+
+# ------------------------------------------------------ parallel shard build
+
+
+@pytest.fixture(scope="module")
+def parallel_result():
+    config = ExperimentConfig(
+        dataset="synthetic",
+        estimators=("neurosketch",),
+        fast=True,
+        n_rows=800,
+        n_train=200,
+        n_test=60,
+        n_timing_queries=10,
+        timing_warmup=2,
+        timing_repeats=1,
+        seed=0,
+        build_workers=2,
+        service=False,
+        stream_bench=False,
+    )
+    return run_experiment(config)
+
+
+def test_parallel_build_block_recorded(parallel_result):
+    build = parallel_result.estimator("neurosketch").build
+    par = build["parallel"]
+    assert par["build_workers"] == 2
+    assert par["shards"] == 2
+    assert par["effective_workers"] >= 1
+    assert par["parallel_build_s"] > 0.0 and par["single_build_s"] > 0.0
+    assert par["speedup_vs_single"] == pytest.approx(
+        par["single_build_s"] / par["parallel_build_s"]
+    )
+    # Per-path accuracy must agree within noise (different seed streams).
+    assert abs(par["parallel_normalized_mae"] - par["single_normalized_mae"]) < 0.1
+    # The backend contrast stays apples-to-apples: its stacked time is the
+    # single-process build, not the sharded one.
+    assert build["stacked_build_s"] == par["single_build_s"]
+    assert set(par["timings_s"]) == {"plan", "shards", "merge", "retrain", "assemble"}
+
+
+def test_parallel_block_serializes_into_bench_json(parallel_result, tmp_path):
+    write_bench_json(parallel_result, "par", tmp_path)
+    payload = load_bench_json(tmp_path / "BENCH_par.json")
+    par = payload["estimators"][0]["build"]["parallel"]
+    assert par["speedup_vs_single"] > 0.0
+    assert payload["config"]["build_workers"] == 2
+
+
+def test_parallel_and_source_knob_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(build_workers=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(build_shards=1)
+    with pytest.raises(ValueError):
+        ExperimentConfig(data_source="download")
+    # Valid shapes construct fine.
+    assert ExperimentConfig(build_workers=4).build_shards is None
+    assert ExperimentConfig(build_shards=2).build_workers == 1

@@ -1,0 +1,252 @@
+"""Sharded parallel construction: parity, determinism and spill-format tests.
+
+The contract under test (repro.core.parallel):
+
+- shard cuts *are* the kd-tree's top-level splits, so with merging disabled
+  a sharded build reproduces the classic build's leaf partition exactly
+  (boxes, index sets and — below the AQC Monte-Carlo threshold — AQCs);
+- the result is a pure function of ``(data, config, seed, n_shards)``:
+  pool vs. inline execution and the worker count never change a byte;
+- cross-boundary merging produces the requested global leaf budget and
+  retrains merged leaves, with nMAE comparable to the classic build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kdtree import QueryKDTree
+from repro.core.neurosketch import NeuroSketch
+from repro.core.parallel import (
+    RESULT_FORMAT,
+    TASK_FORMAT,
+    _load_payload,
+    _save_payload,
+    build_sharded,
+    plan_shards,
+    run_shard,
+)
+from repro.data import load_dataset
+from repro.nn.training import TrainConfig
+from repro.queries import QueryFunction, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    ds = load_dataset("synthetic", n=1_500, seed=0)
+    qf = QueryFunction.axis_range(ds, aggregate="AVG")
+    wl = WorkloadGenerator(qf, seed=1)
+    Q, y = wl.labelled_sample(480)
+    return qf, Q, y
+
+
+def _sketch(**kw):
+    defaults = dict(
+        tree_height=3,
+        n_partitions=None,
+        depth=3,
+        width_first=12,
+        width_rest=8,
+        train_config=TrainConfig(epochs=6, batch_size=64, lr=1e-2, seed=2),
+        seed=2,
+    )
+    defaults.update(kw)
+    return NeuroSketch(**defaults)
+
+
+def _payload_equal(a, b) -> bool:
+    pa, pb = a.npz_payload(), b.npz_payload()
+    if set(pa) != set(pb):
+        return False
+    return all(pa[k].tobytes() == pb[k].tobytes() for k in pa)
+
+
+def _arch(sketch, dim):
+    from repro.nn.network import mlp_architecture
+
+    return mlp_architecture(dim, sketch.depth, sketch.width_first, sketch.width_rest)
+
+
+# ------------------------------------------------------------------ planning
+
+
+def test_plan_shards_cuts_are_kd_splits(workload):
+    _, Q, _ = workload
+    full = QueryKDTree(Q, 3)
+    top, frontiers, specs = plan_shards(Q, 3, 4, None)
+    # The plan's 2-level top tree must reproduce the full tree's top cuts.
+    assert top.root.dim == full.root.dim
+    assert top.root.val == full.root.val
+    for side in ("left", "right"):
+        assert getattr(top.root, side).dim == getattr(full.root, side).dim
+        assert getattr(top.root, side).val == getattr(full.root, side).val
+    # Frontiers partition the workload, left to right.
+    assert len(frontiers) == len(specs) == 4
+    stitched = np.concatenate([spec.indices for spec in specs])
+    assert np.array_equal(np.sort(stitched), np.arange(Q.shape[0]))
+    for spec in specs:
+        assert spec.height == 3 - spec.depth
+        assert spec.start_dim == spec.depth % Q.shape[1]
+
+
+def test_plan_shards_quota_is_ceil_division(workload):
+    _, Q, _ = workload
+    _, _, specs = plan_shards(Q, 3, 4, 6)
+    assert all(spec.quota == 2 for spec in specs)  # ceil(6 / 4)
+    _, _, unmerged = plan_shards(Q, 3, 2, None)
+    assert all(spec.quota is None for spec in unmerged)
+
+
+def test_plan_shards_rejects_bad_args(workload):
+    _, Q, _ = workload
+    with pytest.raises(ValueError):
+        plan_shards(Q, 0, 2, None)
+    with pytest.raises(ValueError):
+        plan_shards(Q, 3, 1, None)
+
+
+# ------------------------------------------------- parity with the classic build
+
+
+def test_sharded_build_matches_classic_partition(workload):
+    """Shard cuts align with kd splits -> identical leaf boxes and AQCs.
+
+    Leaves here hold ~60 queries (< the 50k-pair Monte-Carlo threshold), so
+    AQCs are exact sums on identical index sets and must match bitwise.
+    """
+    _, Q, y = workload
+    classic = _sketch().fit(None, Q, y)
+    sharded = _sketch().fit(None, Q, y, build_shards=4)
+
+    lo_c, hi_c = classic.tree.leaf_boxes()
+    lo_s, hi_s = sharded.tree.leaf_boxes()
+    assert np.array_equal(lo_c, lo_s) and np.array_equal(hi_c, hi_s)
+
+    classic_leaves = {leaf.leaf_id: leaf.indices for leaf in classic.tree.leaves()}
+    sharded_leaves = {leaf.leaf_id: leaf.indices for leaf in sharded.tree.leaves()}
+    assert classic_leaves.keys() == sharded_leaves.keys()
+    for leaf_id, idx in classic_leaves.items():
+        assert np.array_equal(idx, sharded_leaves[leaf_id])
+    assert classic.leaf_aqcs_ == sharded.leaf_aqcs_
+
+
+def test_sharded_build_is_nmae_equivalent(workload):
+    """Per-leaf weights legitimately differ (per-shard seed streams); the
+    accuracy of the two builds must still agree within noise."""
+    qf, Q, y = workload
+    wl = WorkloadGenerator(qf, seed=9)
+    Q_test, y_test = wl.labelled_sample(200)
+    scale = float(np.mean(np.abs(y_test))) or 1.0
+
+    classic = _sketch().fit(None, Q, y)
+    sharded = _sketch().fit(None, Q, y, build_shards=4)
+    nmae_c = float(np.mean(np.abs(classic.predict(Q_test) - y_test))) / scale
+    nmae_s = float(np.mean(np.abs(sharded.predict(Q_test) - y_test))) / scale
+    assert abs(nmae_c - nmae_s) < 0.05
+
+
+def test_cross_boundary_merge_hits_global_budget(workload):
+    """K=4 shards, global budget s=3: per-shard quotas deliver 4 leaves and
+    the cross-boundary Alg.-3 pass must trim (and retrain) the rest."""
+    _, Q, y = workload
+    sketch = _sketch(n_partitions=3).fit(None, Q, y, build_shards=4)
+    assert sketch.tree.n_leaves == 3
+    report = sketch.build_report_
+    assert report["pre_merge_leaves"] >= 4
+    assert report["boundary_merged_leaves"] >= 1
+    assert set(sketch.leaf_aqcs_) == {leaf.leaf_id for leaf in sketch.tree.leaves()}
+    assert set(sketch.models) == set(sketch.leaf_aqcs_)
+    pred = sketch.predict(Q[:50])
+    assert pred.shape == (50,) and np.all(np.isfinite(pred))
+
+
+# --------------------------------------------------------------- determinism
+
+
+def test_worker_count_never_changes_the_result(workload):
+    """Same seed + same shard count -> bit-identical compiled engines,
+    whatever the pool size (here: clamped-inline 4 vs. explicit 1)."""
+    _, Q, y = workload
+    a = _sketch(n_partitions=6).fit(None, Q, y, build_workers=4)
+    b = _sketch(n_partitions=6).fit(None, Q, y, build_workers=1, build_shards=4)
+    assert _payload_equal(a.compile(dtype="float64"), b.compile(dtype="float64"))
+    assert a.leaf_aqcs_ == b.leaf_aqcs_
+
+
+def test_pool_and_inline_builds_are_bit_identical(workload):
+    """A real 2-process pool (npz spills and all) vs. the inline path."""
+    _, Q, y = workload
+    sk = _sketch()
+    kwargs = dict(
+        tree_height=sk.tree_height,
+        n_partitions=4,
+        arch=_arch(sk, Q.shape[1]),
+        train_config=sk.train_config,
+        seed=sk.seed,
+        n_shards=2,
+    )
+    inline = build_sharded(Q, y, workers=1, **kwargs)
+    pooled = build_sharded(Q, y, workers=2, **kwargs)
+    assert inline.report["mode"] == "inline" and inline.report["spill_bytes"] == 0
+    assert pooled.report["mode"] == "pool" and pooled.report["spill_bytes"] > 0
+    assert _payload_equal(inline.compiled, pooled.compiled)
+    assert inline.leaf_aqcs == pooled.leaf_aqcs
+
+
+def test_repeated_same_seed_builds_are_bit_identical(workload):
+    _, Q, y = workload
+    a = _sketch(n_partitions=4).fit(None, Q, y, build_workers=4)
+    b = _sketch(n_partitions=4).fit(None, Q, y, build_workers=4)
+    assert _payload_equal(a.compile(dtype="float64"), b.compile(dtype="float64"))
+
+
+# ------------------------------------------------------------ guards & spills
+
+
+def test_sequential_backend_rejected_for_sharded_builds(workload):
+    _, Q, y = workload
+    sketch = _sketch(train_backend="sequential")
+    with pytest.raises(ValueError, match="stacked"):
+        sketch.fit(None, Q, y, build_shards=2)
+
+
+def test_classic_path_untouched_without_workers(workload):
+    _, Q, y = workload
+    sketch = _sketch().fit(None, Q, y)
+    assert sketch.build_report_ is None
+
+
+def test_npz_spill_roundtrip(tmp_path, workload):
+    _, Q, y = workload
+    path = str(tmp_path / "task.npz")
+    arrays = {"Q": Q[:16], "y": y[:16]}
+    meta = {"format": TASK_FORMAT, "shard_id": 0}
+    _save_payload(path, arrays, meta)
+    back_arrays, back_meta = _load_payload(path, TASK_FORMAT)
+    assert back_meta == meta
+    assert back_arrays["Q"].tobytes() == arrays["Q"].tobytes()
+    assert back_arrays["y"].tobytes() == arrays["y"].tobytes()
+    with pytest.raises(ValueError, match="expected"):
+        _load_payload(path, RESULT_FORMAT)
+
+
+def test_run_shard_payload_is_flat_arrays(workload):
+    """The spill payload is pure numpy + JSON-able meta (pool contract)."""
+    import json
+
+    _, Q, y = workload
+    sk = _sketch()
+    arrays, meta = run_shard(
+        Q[:120],
+        y[:120],
+        shard_id=1,
+        seed=sk.seed,
+        height=2,
+        start_dim=0,
+        quota=None,
+        arch=_arch(sk, Q.shape[1]),
+        cfg=sk.train_config,
+    )
+    assert meta["format"] == RESULT_FORMAT
+    json.dumps(meta)  # meta must be JSON-able as-is
+    for name, arr in arrays.items():
+        assert isinstance(arr, np.ndarray), name

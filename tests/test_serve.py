@@ -659,3 +659,68 @@ def test_microbatcher_drain_and_run_after_close():
     assert batcher.drain() == 0  # nothing pending; must not deadlock or raise
     with pytest.raises(RuntimeError, match="closed"):
         batcher.run(np.array([[1.0, 2.0]]))
+
+
+# ------------------------------------------------------- auto flush threshold
+
+
+def test_microbatcher_auto_follows_segment_hint():
+    hint = [16]
+    batcher = MicroBatcher(
+        SumSketch().predict,
+        max_batch_size="auto",
+        max_delay_s=0.005,
+        segment_hint=lambda: hint[0],
+    )
+    try:
+        assert batcher.stats()["auto_batch"] is True
+        fut = batcher.submit(np.array([[1.0, 2.0]]), scalar=True)
+        assert fut.result(timeout=5.0) == 3.0
+        deadline = time.time() + 2.0
+        while batcher.max_batch_size != 16 and time.time() < deadline:
+            time.sleep(0.005)
+        assert batcher.max_batch_size == 16  # hint adopted after a flush
+    finally:
+        batcher.close()
+
+
+def test_microbatcher_auto_survives_broken_hint():
+    def bad_hint():
+        raise RuntimeError("stats unavailable")
+
+    batcher = MicroBatcher(
+        SumSketch().predict,
+        max_batch_size="auto",
+        max_delay_s=0.005,
+        segment_hint=bad_hint,
+    )
+    try:
+        fut = batcher.submit(np.array([[4.0, 5.0]]), scalar=True)
+        assert fut.result(timeout=5.0) == 9.0  # advisory hint: errors ignored
+        assert batcher.max_batch_size >= 1
+    finally:
+        batcher.close()
+
+
+def test_microbatcher_rejects_unknown_string_threshold():
+    with pytest.raises(ValueError, match="auto"):
+        MicroBatcher(SumSketch().predict, max_batch_size="turbo")
+    with pytest.raises(ValueError, match="auto"):
+        SketchService(max_batch_size="turbo")
+
+
+def test_service_auto_max_batch_wires_engine_segment_stats():
+    class SegSketch(SumSketch):
+        def segment_stats(self):
+            return {"suggested_max_batch": 24}
+
+    with SketchService(max_batch_size="auto", max_delay_s=0.005, cache=False) as svc:
+        svc.register("seg", SegSketch())
+        svc.register("plain", SumSketch())  # no segment_stats: fixed default
+        assert svc.ask(np.array([2.0, 2.0]), sketch="seg") == pytest.approx(4.0)
+        batcher = svc._entries["seg"].batcher
+        deadline = time.time() + 2.0
+        while batcher.max_batch_size != 24 and time.time() < deadline:
+            time.sleep(0.005)
+        assert batcher.max_batch_size == 24
+        assert svc._entries["plain"].batcher.max_batch_size >= 1
