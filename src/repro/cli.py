@@ -177,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--mutable", action="store_true",
                        help="accept `ingest` frames (the artifact must be a "
                             "stream bundle written by `repro run --save-stream`)")
+    serve.add_argument("--no-shared-weights", action="store_true",
+                       help="with --processes N: skip the shared-memory weight "
+                            "publish and give every worker its own copy "
+                            "(the pre-shm behavior; also the automatic "
+                            "fallback where POSIX shm is unavailable)")
 
     ingest = sub.add_parser(
         "ingest",
@@ -385,14 +390,17 @@ def _serve_sharded(args: argparse.Namespace, max_line_bytes: int) -> int:
             port=port,
             max_line_bytes=max_line_bytes,
             worker_args=tuple(worker_args),
+            share_weights=not args.no_shared_weights,
         )
     except (OSError, ValueError, EOFError, RuntimeError) as exc:
         if artifact is not None and artifact != args.sketch:
             os.unlink(artifact)
         return _operator_error(exc)
     bound = "{}:{}".format(*handle.address)
+    shared = handle.router.router_stats().get("shared_weights")
+    via = f" (weights shared via {shared['uri']})" if shared else ""
     print(f"[repro serve] loaded {args.sketch}; routing {bound} across "
-          f"{args.processes} worker processes", file=sys.stderr)
+          f"{args.processes} worker processes{via}", file=sys.stderr)
     try:
         threading.Event().wait()  # serve until interrupted
     except KeyboardInterrupt:

@@ -16,11 +16,27 @@ server would actually run:
 - :class:`CompiledSketch` — per-leaf MLP weights stacked into 3-D tensors
   and lowered to a *precision-tiered, sort-segmented execution plan*:
 
-  * **sort-segmented schedule** — a batch is argsorted by leaf slot once,
-    so each leaf's queries form one contiguous segment of the sorted
-    activation buffers; every layer then runs one contiguous matmul per
-    occupied slot-segment (no zero-padded rows, no padded-block gathers)
-    and the answers scatter back through the inverse permutation.
+  * **sort-segmented schedule** — each leaf's queries are grouped into one
+    contiguous segment of the activation buffers; every layer then runs
+    one contiguous matmul per occupied slot-segment (no zero-padded rows,
+    no padded-block gathers) and the answers scatter back. The hot path
+    fuses routing and segmentation into one pass: :meth:`FlatTree
+    .route_batch_into` routes allocation-free into context arenas —
+    evaluating every leaf's routing box with a few wide broadcast ops
+    instead of a per-level gather loop when the tree is small enough
+    (``BOX_CELL_CAP``) — and the segment schedule comes from an in-place
+    sort of packed ``slot * m + row`` keys in a preallocated arena: no
+    argsort, no per-call index allocations. Batches below
+    ``SMALL_BATCH_ROWS`` skip scheduling and run the scalar kernel; the
+    allocating argsort schedule remains as ``forward_batch`` (the
+    ``sched_fuse_speedup`` baseline and the multi-group path).
+  * **SIMD-padded stacks** — at fuse time, hidden (and fused bias-lane)
+    widths of the execution plan are padded up to multiples of
+    ``SIMD_LANES`` with exact-zero columns so every segment matmul runs
+    on aligned, BLAS-friendly shapes. Canonical float64 weights and
+    serialization stay unpadded; ReLU carries the zero lanes unchanged,
+    so answers move only by BLAS reassociation (absorbed by the parity
+    bounds above).
   * **fused normalization** — the per-leaf input standardization
     (``x_mean``/``x_scale``) is folded into the first layer's weights and
     the target de-standardization (``y_mean``/``y_scale``) into the last
@@ -37,7 +53,9 @@ server would actually run:
   * **scratch arenas** — activation buffers, routing buffers and the
     scalar-path workspace are preallocated and reused across calls, so the
     steady-state serving path performs no per-call tensor allocations
-    beyond the returned answers and O(m) index metadata.
+    beyond the returned answers (the fused schedule routes, sorts and
+    scatters entirely inside the arenas; the argsort fallback additionally
+    allocates O(m) index metadata).
 
 The engine serializes its *canonical* form — unfused float64 weights plus
 scaler statistics, exactly the PR-2 payload plus a ``dtype`` tag — so
@@ -92,6 +110,27 @@ MIN_AUTO_BATCH = 8
 MAX_AUTO_BATCH = 1024
 DEFAULT_MAX_BATCH = 64
 
+#: Hidden (and fused bias-lane) widths of the execution plan are padded up
+#: to multiples of this with exact-zero columns, so every segment matmul —
+#: notably the float32 tier's sgemm calls — runs on aligned, vector-width
+#: friendly shapes. Canonical weights and serialization stay unpadded; the
+#: padding is a pure view-time transform (zero columns stay exactly zero
+#: through ReLU, so answers are unchanged up to BLAS reassociation).
+SIMD_LANES = 8
+
+#: Batches below this many rows skip the segment scheduler entirely and run
+#: the scalar kernel row by row: at that scale the per-batch scheduling
+#: overhead exceeds the gemm advantage, and the scalar path warm-starts on
+#: the previous row's leaf.
+SMALL_BATCH_ROWS = 32
+
+#: Ceiling on ``n_leaves * input_dim * batch_rows`` cells for the box-routing
+#: arenas (see :meth:`FlatTree.route_batch_into`): evaluating every leaf box
+#: with a handful of wide broadcast ops beats the per-level gather loop on
+#: dispatch overhead, but its element work grows with the leaf count, so huge
+#: trees fall back to the level loop.
+BOX_CELL_CAP = 1 << 20
+
 
 def resolve_dtype(name: str) -> np.dtype:
     """Validate a tier name (``"float64"``/``"float32"``) into a dtype."""
@@ -129,6 +168,7 @@ class FlatTree:
         "_rval",
         "_rchild",
         "_depth",
+        "_boxes",
     )
 
     def __init__(
@@ -160,6 +200,7 @@ class FlatTree:
         self._rc = self.right.tolist()
         self._lid = self.leaf_id.tolist()
         self._build_route_tables()
+        self._boxes: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     def _build_route_tables(self) -> None:
         """Branch-free batch-routing tables: leaves self-loop.
@@ -291,6 +332,86 @@ class FlatTree:
             node = self._rchild[node]
         return self.leaf_id[node]
 
+    def route_batch_into(self, Q: np.ndarray, ctx) -> np.ndarray:
+        """Fused allocation-free routing into an execution context's arenas.
+
+        Same routing semantics as :meth:`route_batch`, but every per-level
+        temporary lives in ``ctx``'s preallocated buffers, so the
+        steady-state batch path performs no per-call tensor allocations.
+        ``Q`` must be float64 and C-contiguous (the caller guarantees it);
+        returns the per-row *leaf ids* as a view of one of ``ctx``'s
+        routing arenas — valid until the next routing call on the same
+        context.
+
+        Two implementations behind one seam. When the context carries box
+        arenas (small trees, ``BOX_CELL_CAP``), every leaf's routing box is
+        evaluated at once — ``(q > lo) & (q <= hi)`` over an ``(m, L, d)``
+        broadcast, then ``all``/``argmax`` — five wide vector ops total,
+        independent of tree depth; the boxes partition query space exactly
+        (``lo`` exclusive, ``hi`` inclusive, matching the ``<=``-left
+        routing rule), so ``argmax`` finds the single ``True`` per row and
+        its position *is* the leaf id (:meth:`_validate_structure` makes
+        leaf ids a permutation). Otherwise a per-level gather loop runs in
+        the arenas: the child table is laid out ``[left, right]`` at
+        ``[2n, 2n+1]``, so ``go_right = qv > val`` indexes it directly and
+        the two node buffers ping-pong between the gather's source and
+        destination.
+        """
+        m = Q.shape[0]
+        if ctx._blo is not None:
+            # Queries transpose to (d, m) so every broadcast op below runs
+            # its inner loop over the m-contiguous axis (a (m, L, d) layout
+            # would leave a length-d inner loop and pay the iterator
+            # overhead m*L times).
+            L = self.n_leaves
+            d = ctx.input_dim
+            lo, hi = self.route_boxes(d)  # (L, d, 1) each
+            qt = ctx._qT[: d * m].reshape(d, m)
+            qt[:] = Q.T
+            B1 = ctx._blo[: L * d * m].reshape(L, d, m)
+            B2 = ctx._bhi[: L * d * m].reshape(L, d, m)
+            np.greater(qt, lo, out=B1)
+            np.less_equal(qt, hi, out=B2)
+            np.logical_and(B1, B2, out=B1)
+            inb = ctx._bin[: L * m].reshape(L, m)
+            np.all(B1, axis=1, out=inb)
+            idx = ctx._idx[:m]
+            np.argmax(inb, axis=0, out=idx)
+            return idx
+        a = ctx._node[:m]
+        b = ctx._idx[:m]
+        val = ctx._val[:m]
+        qv = ctx._qv[:m]
+        go = ctx._go[:m]
+        rowbase = ctx._rowbase[:m]
+        Qr = Q.reshape(-1)
+        a[:] = 0
+        for _ in range(self._depth):
+            np.take(self._rdim, a, out=b)
+            b += rowbase
+            np.take(Qr, b, out=qv)
+            np.take(self._rval, a, out=val)
+            np.greater(qv, val, out=go)
+            a <<= 1
+            a += go
+            np.take(self._rchild, a, out=b)
+            a, b = b, a
+        np.take(self.leaf_id, a, out=b)
+        return b
+
+    def route_boxes(self, dim: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-leaf routing boxes for the vectorized box route, cached per
+        ``dim`` (the tree is immutable)."""
+        boxes = self._boxes.get(dim)
+        if boxes is None:
+            lo, hi = self.leaf_boxes(dim)
+            boxes = (
+                np.ascontiguousarray(lo)[:, :, None],
+                np.ascontiguousarray(hi)[:, :, None],
+            )
+            self._boxes[dim] = boxes
+        return boxes
+
     def route_one(self, q: np.ndarray) -> int:
         """Leaf id for a single query (scalar walk over Python lists)."""
         sd, sv, lc, rc = self._sd, self._sv, self._lc, self._rc
@@ -389,15 +510,25 @@ class _LeafGroup:
         "y_mean",
         "y_scale",
         "dtype_name",
+        "pad_widths",
         "_dtype",
         "_A",
         "_slot_A",
         "_cols",
+        "_rows0",
         "_one_bufs",
         "_x_one",
         "_cap",
         "_qflat",
         "_hflat",
+        "_ord",
+        "_x3",
+        "_h3",
+        "_off",
+        "_dest",
+        "_t",
+        "_eq",
+        "_ans",
         "fb_batches",
         "fb_rows",
         "fb_segments",
@@ -414,6 +545,7 @@ class _LeafGroup:
         y_mean: np.ndarray,
         y_scale: np.ndarray,
         dtype: str = "float64",
+        pad_widths: bool = True,
     ) -> None:
         self.layer_sizes = list(layer_sizes)
         self.leaf_ids = list(leaf_ids)
@@ -442,6 +574,7 @@ class _LeafGroup:
                 f"{self.y_mean.shape}/{self.y_scale.shape}"
             )
         self.dtype_name = str(dtype)
+        self.pad_widths = bool(pad_widths)
         self._dtype = resolve_dtype(self.dtype_name)
         self._build_plan()
         # Batch arena grows on demand (geometrically) and is reused across
@@ -449,6 +582,8 @@ class _LeafGroup:
         self._cap = 0
         self._qflat = None
         self._hflat = None
+        self._ord = self._dest = self._t = self._eq = self._ans = None
+        self._x3 = self._h3 = self._off = None
         # Segment-size observation counters (drained by the owning sketch at
         # context check-in; see ``CompiledSketch.segment_stats``).
         self.fb_batches = 0
@@ -464,6 +599,15 @@ class _LeafGroup:
         ``x @ (W/s) + (b - (m/s) @ W)`` instead of ``((x-m)/s) @ W + b`` —
         which perturbs float64 answers at the 1e-14 level, two orders inside
         the 1e-12 parity budget.
+
+        With ``pad_widths`` (the default), each augmented tensor's row and
+        column counts are rounded up to multiples of :data:`SIMD_LANES` with
+        exact-zero entries: the extra input columns hold 0, the extra weight
+        rows/columns hold 0, the ones-lane stays at column ``fan_out``, and
+        ``relu(0) == 0`` carries the zero lanes through the net — so every
+        matmul runs on aligned shapes while the arithmetic result only picks
+        up exact ``+0.0`` terms. The final layer's output column count is
+        never padded (answers stay a single column).
         """
         inv = 1.0 / self.x_scale
         fused_W = [w for w in self.W]
@@ -474,12 +618,15 @@ class _LeafGroup:
         fused_b[-1] = fused_b[-1] * self.y_scale[:, None] + self.y_mean[:, None]
         g = len(self.leaf_ids)
         n_aff = len(fused_W)
+        lanes = SIMD_LANES if self.pad_widths else 1
+        up = lambda n: -(-n // lanes) * lanes  # noqa: E731
         A: list[np.ndarray] = []
         for li, (w, bias) in enumerate(zip(fused_W, fused_b)):
             fan_in, fan_out = w.shape[1], w.shape[2]
             last = li == n_aff - 1
-            cols = fan_out if last else fan_out + 1
-            a = np.zeros((g, fan_in + 1, cols), dtype=self._dtype)
+            cols = fan_out if last else up(fan_out + 1)
+            rows = up(fan_in + 1)
+            a = np.zeros((g, rows, cols), dtype=self._dtype)
             a[:, :fan_in, :fan_out] = w
             a[:, fan_in, :fan_out] = bias
             if not last:
@@ -487,15 +634,18 @@ class _LeafGroup:
             A.append(a)
         self._A = A
         self._cols = [a.shape[2] for a in A]
+        self._rows0 = A[0].shape[1]
         # Per-slot per-layer weight views as plain Python lists: the segment
         # loop and the scalar path index them without numpy dispatch.
         self._slot_A = [[a[s] for a in A] for s in range(g)]
         self._one_bufs = [np.empty(c, dtype=self._dtype) for c in self._cols]
-        self._x_one = np.ones(self.layer_sizes[0] + 1, dtype=self._dtype)
+        self._x_one = np.zeros(self._rows0, dtype=self._dtype)
+        self._x_one[self.layer_sizes[0]] = 1.0
 
-    def with_dtype(self, dtype: str) -> "_LeafGroup":
+    def with_dtype(self, dtype: str, pad_widths: bool | None = None) -> "_LeafGroup":
         """This group lowered to another tier (canonical arrays are shared)."""
-        if dtype == self.dtype_name:
+        pw = self.pad_widths if pad_widths is None else bool(pad_widths)
+        if dtype == self.dtype_name and pw == self.pad_widths:
             return self
         return _LeafGroup(
             self.layer_sizes,
@@ -507,6 +657,7 @@ class _LeafGroup:
             self.y_mean,
             self.y_scale,
             dtype=dtype,
+            pad_widths=pw,
         )
 
     def replicate(self) -> "_LeafGroup":
@@ -528,15 +679,20 @@ class _LeafGroup:
         rep.y_mean = self.y_mean
         rep.y_scale = self.y_scale
         rep.dtype_name = self.dtype_name
+        rep.pad_widths = self.pad_widths
         rep._dtype = self._dtype
         rep._A = self._A
         rep._slot_A = self._slot_A
         rep._cols = self._cols
+        rep._rows0 = self._rows0
         rep._one_bufs = [np.empty(c, dtype=self._dtype) for c in self._cols]
-        rep._x_one = np.ones(self.layer_sizes[0] + 1, dtype=self._dtype)
+        rep._x_one = np.zeros(self._rows0, dtype=self._dtype)
+        rep._x_one[self.layer_sizes[0]] = 1.0
         rep._cap = 0
         rep._qflat = None
         rep._hflat = None
+        rep._ord = rep._dest = rep._t = rep._eq = rep._ans = None
+        rep._x3 = rep._h3 = rep._off = None
         rep.fb_batches = 0
         rep.fb_rows = 0
         rep.fb_segments = 0
@@ -546,13 +702,28 @@ class _LeafGroup:
         if m <= self._cap:
             return
         cap = max(2 * self._cap, m, 256)
-        d1 = self.layer_sizes[0] + 1
-        qflat = np.empty(cap * d1, dtype=self._dtype)
-        # The ones-lane of the input buffer is data-independent: set it once
-        # here, and every (rows, d1)-shaped view of the flat buffer sees it.
-        qflat.reshape(cap, d1)[:, d1 - 1] = 1.0
+        d1 = self._rows0
+        # The input buffer's ones-lane and zero pad lanes are
+        # data-independent: set them once here, and every (rows, d1)-shaped
+        # view of the flat buffer sees them.
+        qflat = np.zeros(cap * d1, dtype=self._dtype)
+        qflat.reshape(cap, d1)[:, self.layer_sizes[0]] = 1.0
         self._qflat = qflat
         self._hflat = [np.empty(cap * c, dtype=self._dtype) for c in self._cols]
+        # Key-sort schedule arenas (see ``forward_batch_sched``).
+        self._ord = np.empty(cap, dtype=np.int64)
+        self._dest = np.empty(cap, dtype=np.int64)
+        # Stacked-matmul arenas (see ``_forward_bmm``): the inflation guard
+        # bounds the padded stack at 1.5x the batch plus one SIMD block per
+        # leaf, so these cover every batch the guard admits.
+        L = self.n_leaves
+        n3cap = cap + (cap >> 1) + L * SIMD_LANES
+        self._x3 = np.zeros(n3cap * d1, dtype=self._dtype)
+        self._h3 = [np.empty(n3cap * c, dtype=self._dtype) for c in self._cols]
+        self._off = np.empty(L, dtype=np.int64)
+        self._t = np.empty(cap, dtype=np.int64)
+        self._eq = np.empty(cap, dtype=bool)
+        self._ans = np.empty(cap, dtype=self._dtype)
         self._cap = cap
 
     @property
@@ -587,7 +758,7 @@ class _LeafGroup:
             return out
         self._ensure_arena(m)
         d = self.layer_sizes[0]
-        X = self._qflat[: m * (d + 1)].reshape(m, d + 1)
+        X = self._qflat[: m * self._rows0].reshape(m, self._rows0)
         counts = np.bincount(slots, minlength=self.n_leaves)
         if counts.max() == m:
             # Single occupied slot (hot leaf, or a routed sub-batch): the
@@ -627,10 +798,154 @@ class _LeafGroup:
             out[order] = H[:, 0]
         return out
 
+    def forward_batch_sched(
+        self, Q: np.ndarray, slots: np.ndarray, rows: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Fused-schedule batch kernel: counting sort, no argsort, no allocs.
+
+        The segment schedule is emitted directly from the routing result:
+        rows are counting-sorted by leaf slot through an in-place sort of
+        packed ``slot * m + row`` keys in a preallocated arena (the row part
+        makes keys unique, so ``key % m`` after the sort is the stable
+        permutation and ``key // m`` the sorted slots), so the whole batch
+        path — routing, schedule, activations, scatter — reuses arenas and
+        performs no per-call tensor allocations beyond the caller's ``out``
+        and O(n_leaves) segment bookkeeping. ``rows`` is a preallocated
+        ``arange(m)`` view from the calling context.
+        """
+        m = Q.shape[0]
+        if m == 0:
+            return out
+        self._ensure_arena(m)
+        d = self.layer_sizes[0]
+        X = self._qflat[: m * self._rows0].reshape(m, self._rows0)
+        eq = self._eq[:m]
+        np.equal(slots, slots[0], out=eq)
+        if eq.all():
+            # Single occupied slot (hot leaf, or a routed sub-batch): the
+            # batch is one segment already — skip the schedule and scatter.
+            dest = None
+            X[:, :d] = Q
+            segs = [slice(0, m)]
+            plans = [self._slot_A[int(slots[0])]]
+        else:
+            key = self._t[:m]
+            np.multiply(slots, m, out=key)
+            key += rows
+            key.sort()
+            order = self._ord[:m]
+            np.mod(key, m, out=order)  # row at each sorted position
+            key //= m  # sorted slots
+            dest = self._dest[:m]
+            dest[order] = rows  # inverse permutation: row -> sorted position
+            segs = []
+            plans = []
+            s0 = 0
+            block = 0
+            ne = eq[: m - 1]  # the single-slot check is done with ``eq``
+            np.not_equal(key[1:], key[:-1], out=ne)
+            bounds = np.flatnonzero(ne)  # O(n_leaves) ints
+            for s1 in bounds.tolist() + [m - 1]:
+                segs.append(slice(s0, s1 + 1))
+                plans.append(self._slot_A[int(key[s1])])
+                if s1 + 1 - s0 > block:
+                    block = s1 + 1 - s0
+                s0 = s1 + 1
+        self.fb_batches += 1
+        self.fb_rows += m
+        self.fb_segments += len(segs)
+        if dest is not None:
+            # When every slot is occupied and the largest segment does not
+            # inflate the batch too much, run each layer as ONE stacked
+            # matmul over (n_leaves, block, width) instead of one call per
+            # segment — the per-call dispatch of ~n_leaves * n_layers small
+            # gemms dominates this kernel, and the fused ones-lane makes
+            # zero pad rows exact (they stay zero through every layer), so
+            # block padding costs only flops (measured ~0.15us/row against
+            # ~1.5us per avoided gemm call). Heavily skewed or sparse
+            # batches keep the per-segment loop.
+            g = self.n_leaves
+            lanes = SIMD_LANES if self.pad_widths else 1
+            block_r = -(-block // lanes) * lanes
+            if len(segs) == g and g * block_r <= m + (m >> 1) + g * lanes:
+                return self._forward_bmm(Q, slots, dest, segs, block_r, out)
+            X[dest, :d] = Q
+        H = X
+        hflat, cols, matmul = self._hflat, self._cols, np.matmul
+        n_aff = len(self._A)
+        last = n_aff - 1
+        for li in range(n_aff):
+            O = hflat[li][: m * cols[li]].reshape(m, cols[li])
+            for seg, plan in zip(segs, plans):
+                matmul(H[seg], plan[li], out=O[seg])
+            if li != last:
+                np.maximum(O, 0.0, out=O)
+            H = O
+        if dest is None:
+            out[:] = H[:, 0]
+        else:
+            ans = self._ans[:m]
+            np.take(H[:, 0], dest, out=ans)
+            out[:] = ans
+        return out
+
+    def _forward_bmm(
+        self,
+        Q: np.ndarray,
+        slots: np.ndarray,
+        dest: np.ndarray,
+        segs: list,
+        block_r: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Stacked-matmul tail of :meth:`forward_batch_sched`.
+
+        Rows scatter into a zero-padded ``(n_leaves, block_r, width)``
+        arena (slot ``k``'s segment occupies rows ``[k*block_r, ...)`` of
+        the flat view) and every layer runs as a single ``np.matmul`` over
+        the stack — the batched gemm loop lives in C, so dispatch cost no
+        longer scales with the segment count. ``dest`` (the within-batch
+        sorted position of each row) is consumed and overwritten with the
+        arena destination.
+        """
+        m = Q.shape[0]
+        d = self.layer_sizes[0]
+        g = self.n_leaves
+        off = self._off
+        for k, seg in enumerate(segs):
+            off[k] = k * block_r - seg.start
+        t = self._t[:m]
+        np.take(off, slots, out=t)
+        dest += t  # arena row of each input row
+        rows0 = self._rows0
+        n3 = g * block_r
+        X3f = self._x3[: n3 * rows0]
+        X3f.fill(0.0)  # contiguous memset; pad rows must stay exactly zero
+        X3 = X3f.reshape(n3, rows0)
+        X3[dest, :d] = Q
+        X3[dest, d] = 1.0  # the fused bias lane
+        H = X3.reshape(g, block_r, rows0)
+        matmul = np.matmul
+        n_aff = len(self._A)
+        last = n_aff - 1
+        for li, a in enumerate(self._A):
+            c = self._cols[li]
+            O = self._h3[li][: n3 * c].reshape(g, block_r, c)
+            matmul(H, a, out=O)
+            if li != last:
+                np.maximum(O, 0.0, out=O)
+            H = O
+        ans = self._ans[:m]
+        np.take(H.reshape(n3), dest, out=ans)
+        out[:] = ans
+        return out
+
     def forward_one(self, q: np.ndarray, slot: int) -> float:
         """Single forward pass through the preallocated scalar buffers."""
         x = self._x_one
-        x[:-1] = q  # cast into the tier; the augmented ones-slot is preset
+        # Cast into the tier; the augmented ones-slot and the zero pad lanes
+        # beyond it are preset.
+        x[: self.layer_sizes[0]] = q
         h = x
         plan = self._slot_A[slot]
         last = len(plan) - 1
@@ -753,10 +1068,20 @@ class _EngineContext:
         "last_lid",
         "warm_hits",
         "warm_misses",
+        "input_dim",
         "_cap",
         "_node",
         "_rows",
         "_slots",
+        "_idx",
+        "_val",
+        "_qv",
+        "_go",
+        "_rowbase",
+        "_blo",
+        "_bhi",
+        "_bin",
+        "_qT",
     )
 
     def __init__(self, sketch: "CompiledSketch", groups: list[_LeafGroup]) -> None:
@@ -767,6 +1092,7 @@ class _EngineContext:
         self.lg_list = sketch._lg_list
         self.ls_list = sketch._ls_list
         self.slot_identity = sketch._slot_identity
+        self.input_dim = sketch.input_dim
         self.epoch = sketch.epoch
         # Same-leaf warm-start state: routing boxes as Python lists (shared,
         # read-only), the last-hit leaf, and hit/miss counters drained by the
@@ -779,6 +1105,8 @@ class _EngineContext:
         self._node = None
         self._rows = None
         self._slots = None
+        self._idx = self._val = self._qv = self._go = self._rowbase = None
+        self._blo = self._bhi = self._bin = self._qT = None
 
     def ensure_arena(self, m: int) -> None:
         if m <= self._cap:
@@ -787,6 +1115,23 @@ class _EngineContext:
         self._node = np.empty(cap, dtype=np.int64)
         self._rows = np.arange(cap)
         self._slots = np.empty(cap, dtype=np.int64)
+        # Fused-routing scratch (see ``FlatTree.route_batch_into``).
+        # ``_idx`` is ``intp`` because ``np.argmax(..., out=)`` insists on
+        # it; the level-loop fallback gathers into it just the same.
+        self._idx = np.empty(cap, dtype=np.intp)
+        self._val = np.empty(cap, dtype=np.float64)
+        self._qv = np.empty(cap, dtype=np.float64)
+        self._go = np.empty(cap, dtype=bool)
+        self._rowbase = self._rows * self.input_dim
+        L = self.tree.n_leaves
+        d = self.input_dim
+        if L * d * cap <= BOX_CELL_CAP:
+            self._blo = np.empty(cap * L * d, dtype=bool)
+            self._bhi = np.empty(cap * L * d, dtype=bool)
+            self._bin = np.empty(cap * L, dtype=bool)
+            self._qT = np.empty(cap * d, dtype=np.float64)
+        else:
+            self._blo = self._bhi = self._bin = self._qT = None
         self._cap = cap
 
 
@@ -836,6 +1181,11 @@ class CompiledSketch:
         # created on demand up to ``max_replicas``. Checked-out contexts are
         # exclusive, so concurrent predicts never share mutable state.
         self.max_replicas = DEFAULT_MAX_REPLICAS
+        #: ``True`` (default) routes batches through the fused
+        #: route->segment scheduler (counting sort into arenas, small-batch
+        #: scalar fast path); ``False`` keeps the PR-5 argsort schedule —
+        #: the ``sched_fuse_speedup`` BENCH baseline.
+        self.fused_schedule = True
         self.epoch = 0
         self._pool = threading.Condition()
         # Workload observation counters, drained from contexts at check-in:
@@ -957,6 +1307,7 @@ class CompiledSketch:
         y_scaler=None,
         leaf_ids: list[int] | None = None,
         dtype: str = "float64",
+        pad_widths: bool = True,
     ) -> "CompiledSketch":
         """Build directly from an already-stacked model set.
 
@@ -973,6 +1324,8 @@ class CompiledSketch:
         weight tensors, no unstack/restack round-trip through per-leaf MLP
         objects. The slots must cover *every* tree leaf
         (mixed-architecture sketches go through :meth:`from_sketch` instead).
+        ``pad_widths`` is the SIMD-padding knob handed to the leaf group
+        (see :data:`SIMD_LANES`); canonical weights stay unpadded either way.
         """
         resolve_dtype(dtype)
         flat = tree if isinstance(tree, FlatTree) else FlatTree.from_tree(tree)
@@ -1006,6 +1359,7 @@ class CompiledSketch:
             y_mean,
             y_scale,
             dtype=dtype,
+            pad_widths=pad_widths,
         )
         leaf_group = np.zeros(flat.n_leaves, dtype=np.int64)
         leaf_slot = np.empty(flat.n_leaves, dtype=np.int64)
@@ -1013,18 +1367,42 @@ class CompiledSketch:
             leaf_slot[lid] = slot
         return cls(flat, [group], leaf_group, leaf_slot, input_dim)
 
-    def with_dtype(self, dtype: str) -> "CompiledSketch":
-        """This sketch on another execution tier (tree and weights shared)."""
+    @property
+    def pad_widths(self) -> bool:
+        """Whether this engine's execution plan uses SIMD-padded widths."""
+        return self.groups[0].pad_widths
+
+    def with_dtype(
+        self,
+        dtype: str,
+        pad_widths: bool | None = None,
+        fused_schedule: bool | None = None,
+    ) -> "CompiledSketch":
+        """This sketch on another execution tier (tree and weights shared).
+
+        ``pad_widths``/``fused_schedule`` override the kernel knobs on the
+        returned engine (``None`` inherits); the BENCH harness uses them to
+        time the unpadded and unfused baselines against the same weights.
+        """
         resolve_dtype(dtype)
-        if dtype == self.dtype_name:
+        fs = self.fused_schedule if fused_schedule is None else bool(fused_schedule)
+        pw = self.pad_widths if pad_widths is None else bool(pad_widths)
+        if dtype == self.dtype_name and pw == self.pad_widths and fs == self.fused_schedule:
             return self
-        return CompiledSketch(
+        groups = [g.with_dtype(dtype, pad_widths=pw) for g in self.groups]
+        if any(g is mine for g, mine in zip(groups, self.groups)):
+            # Same plan, different schedule flag: replicate so the two
+            # engines' primary contexts never share mutable arenas.
+            groups = [g.replicate() for g in groups]
+        eng = CompiledSketch(
             self.tree,
-            [g.with_dtype(dtype) for g in self.groups],
+            groups,
             self.leaf_group,
             self.leaf_slot,
             self.input_dim,
         )
+        eng.fused_schedule = fs
+        return eng
 
     # --------------------------------------------------------------- predict
 
@@ -1117,6 +1495,14 @@ class CompiledSketch:
             self._ls_list = other._ls_list
             self._slot_identity = other._slot_identity
             self.epoch += 1
+            # The warm-start and segment counters describe the retired
+            # epoch's traffic; carrying them across a swap would skew the
+            # hit rate and the auto-batch suggestion for the new weights.
+            self._warm_hits = 0
+            self._warm_misses = 0
+            self._seg_batches = 0
+            self._seg_rows = 0
+            self._seg_segments = 0
             checked_out = self._n_contexts - len(self._idle)
             # Fresh primary context over *replicas* of the adopted groups:
             # ``other``'s own context 0 keeps exclusive use of their arenas.
@@ -1159,7 +1545,9 @@ class CompiledSketch:
         ``[MIN_AUTO_BATCH, MAX_AUTO_BATCH]``. ``suggested_max_batch`` falls
         back to ``DEFAULT_MAX_BATCH`` until any batch has been observed.
         This is what a ``MicroBatcher`` in ``max_batch_size="auto"`` mode
-        polls.
+        polls. Batches below ``SMALL_BATCH_ROWS`` run the scalar kernel
+        and do not contribute here; counters reset on ``swap_from`` so the
+        suggestion tracks the live epoch's traffic.
         """
         with self._pool:
             batches = self._seg_batches
@@ -1198,7 +1586,22 @@ class CompiledSketch:
                 # 1-query ``predict`` and ``predict_one`` answer identically.
                 out[0] = self._predict_one_ctx(ctx, Q[0])
                 return out
+            if self.fused_schedule and m < SMALL_BATCH_ROWS:
+                # Small-batch fast path: at this scale the scheduling
+                # overhead exceeds the gemm advantage, so run the scalar
+                # kernel row by row (same-leaf warm-start included).
+                for i in range(m):
+                    out[i] = self._predict_one_ctx(ctx, Q[i])
+                return out
             ctx.ensure_arena(m)
+            if self.fused_schedule and len(ctx.groups) == 1:
+                if not Q.flags.c_contiguous:
+                    Q = np.ascontiguousarray(Q)
+                slots = ctx.tree.route_batch_into(Q, ctx)
+                if not ctx.slot_identity:
+                    slots = np.take(ctx.leaf_slot, slots, out=ctx._slots[:m])
+                ctx.groups[0].forward_batch_sched(Q, slots, ctx._rows[:m], out=out)
+                return out
             leaves = ctx.tree.route_batch(Q, node=ctx._node, rows=ctx._rows)
             if len(ctx.groups) == 1:
                 if ctx.slot_identity:

@@ -124,12 +124,20 @@ def _fmt_parallel_line(est) -> str | None:
     par = (est.build or {}).get("parallel")
     if not par:
         return None
+    speedup = f"{par['speedup_vs_single']:.2f}x"
+    if par.get("container_limited"):
+        # Workers outnumber cores: the processes time-slice one another,
+        # so a sub-1x number is the container's budget, not a regression.
+        speedup += (
+            f"; container-limited, {par['cpu_count']} cpu(s) for "
+            f"{par['build_workers']} workers"
+        )
     return (
         f"parallel build: {par['shards']} shards on {par['effective_workers']} "
         f"worker(s) ({par['mode']}) -> "
         f"{_fmt_seconds(par['parallel_build_s'])} vs "
         f"{_fmt_seconds(par['single_build_s'])} single-process "
-        f"({par['speedup_vs_single']:.2f}x), "
+        f"({speedup}), "
         f"nMAE {par['parallel_normalized_mae']:.4f} vs "
         f"{par['single_normalized_mae']:.4f}, "
         f"{par['boundary_merged_leaves']} boundary-merged leaves"

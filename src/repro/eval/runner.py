@@ -10,6 +10,7 @@ config yields the same numbers modulo wall-clock noise in the timings.
 
 from __future__ import annotations
 
+import os
 from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
@@ -307,6 +308,67 @@ def _time_service(estimator, pred, Q_test, Q_timing, config) -> dict:
         out["cache"] = svc.stats()["cache"]
     if out["cached_hit_mean_s"] > 0:
         out["cache_hit_speedup"] = out["uncached_ask_mean_s"] / out["cached_hit_mean_s"]
+    # Serving-knob observability, read off the engine this block just
+    # drove: the scalar path's warm-start hit rate (single-query asks
+    # reuse the previous query's leaf before routing) and the segmented
+    # batch path's observed segment distribution with the micro-batch
+    # flush threshold it suggests.
+    try:
+        engine = estimator.compile(dtype=estimator.infer_dtype)
+        out["warm_hit_rate"] = engine.replica_stats()["warm_hit_rate"]
+        out["segment_stats"] = engine.segment_stats()
+    except (AttributeError, TypeError):
+        pass
+    return out
+
+
+def _worker_memory(pids, shm_token: str | None) -> list[dict]:
+    """Per-process resident memory, split out for the shared weight block.
+
+    ``pss_bytes`` is the proportional set size from ``smaps_rollup`` (each
+    shared page divided by its mapper count — the honest per-worker
+    footprint). When ``shm_token`` names a published weight block, the
+    ``/dev/shm`` mappings holding it are summed separately: across N
+    workers the block's Rss appears N times but its summed Pss stays ~1x
+    the block size, which is what "shared, not duplicated" looks like in
+    the kernel's accounting. Best-effort — returns what /proc offers.
+    """
+    out: list[dict] = []
+    for pid in pids:
+        entry: dict = {"pid": int(pid)}
+        try:
+            with open(f"/proc/{pid}/smaps_rollup") as fh:
+                for line in fh:
+                    if line.startswith("Rss:"):
+                        entry["rss_bytes"] = int(line.split()[1]) * 1024
+                    elif line.startswith("Pss:"):
+                        entry["pss_bytes"] = int(line.split()[1]) * 1024
+        except OSError:
+            continue
+        if shm_token:
+            shm_rss = shm_pss = 0
+            try:
+                with open(f"/proc/{pid}/smaps") as fh:
+                    in_block = False
+                    for line in fh:
+                        # Mapping header lines start with the address range
+                        # ("7f..-7f.. perms ..."); attribute lines with a
+                        # "Key:" token. Every header re-decides membership,
+                        # else anonymous mappings after the block would be
+                        # miscounted into it.
+                        first = line.split(maxsplit=1)[0] if line.strip() else ""
+                        if "-" in first:
+                            in_block = "/dev/shm/" in line and shm_token in line
+                        elif in_block and line.startswith("Rss:"):
+                            shm_rss += int(line.split()[1]) * 1024
+                        elif in_block and line.startswith("Pss:"):
+                            shm_pss += int(line.split()[1]) * 1024
+            except OSError:
+                pass
+            else:
+                entry["shm_rss_bytes"] = shm_rss
+                entry["shm_pss_bytes"] = shm_pss
+        out.append(entry)
     return out
 
 
@@ -491,15 +553,40 @@ def _time_service_concurrent(estimator, Q_test, config) -> dict:
                             )
 
                     elapsed = fanout(shard_sustained_worker)
-                    scaling.append(
-                        {
-                            "processes": int(n_proc),
-                            "sustained_qps": n_clients * n_pipeline / elapsed,
-                            "parity_max_abs_diff": {
-                                tier: float(np.max(diffs[tier])) for tier in tiers
-                            },
+                    entry = {
+                        "processes": int(n_proc),
+                        "sustained_qps": n_clients * n_pipeline / elapsed,
+                        "parity_max_abs_diff": {
+                            tier: float(np.max(diffs[tier])) for tier in tiers
+                        },
+                    }
+                    # Weight-memory accounting, measured while the shards
+                    # are warm from the sustained run: every worker's PSS
+                    # plus the shared weight block's split-out mappings.
+                    stats = handle.router.router_stats()
+                    shared = stats.get("shared_weights")
+                    pids = [
+                        w["pid"] for w in stats["workers"] if w["pid"] is not None
+                    ]
+                    token = shared["uri"].split("://", 1)[1] if shared else None
+                    mem = _worker_memory(pids, token)
+                    entry["rss_per_worker_bytes"] = [
+                        m.get("pss_bytes") for m in mem
+                    ]
+                    if shared is not None:
+                        entry["shared_weights"] = {
+                            **shared,
+                            "workers_mapping": sum(
+                                1 for m in mem if m.get("shm_rss_bytes", 0) > 0
+                            ),
+                            "sum_shm_pss_bytes": sum(
+                                m.get("shm_pss_bytes", 0) for m in mem
+                            ),
+                            "sum_shm_rss_bytes": sum(
+                                m.get("shm_rss_bytes", 0) for m in mem
+                            ),
                         }
-                    )
+                    scaling.append(entry)
                 finally:
                     handle.stop()
         finally:
@@ -755,6 +842,21 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
             batch["dtype"] = estimator.infer_dtype
             batch["padded_batch_s"] = padded["batch_s"]
             batch["speedup_vs_padded"] = padded["batch_s"] / batch["batch_s"]
+
+            # Kernel-knob ablations: the served engine re-lowered with SIMD
+            # width padding off, and with the fused route->segment scheduler
+            # off (the legacy route -> argsort -> segment path). Each ratio
+            # is ablated-time / served-time, so > 1 means the knob pays off
+            # on this workload (see the README's BENCH-field glossary).
+            say(f"timing {name} kernel ablations (pad widths, fused schedule)")
+            nopad = served.with_dtype(served.dtype_name, pad_widths=False)
+            t_nopad = time_batch(nopad.predict, Q_test, repeats=batch_repeats)
+            batch["unpadded_batch_s"] = t_nopad["batch_s"]
+            batch["padded_width_speedup"] = t_nopad["batch_s"] / batch["batch_s"]
+            legacy = served.with_dtype(served.dtype_name, fused_schedule=False)
+            t_legacy = time_batch(legacy.predict, Q_test, repeats=batch_repeats)
+            batch["legacy_sched_batch_s"] = t_legacy["batch_s"]
+            batch["sched_fuse_speedup"] = t_legacy["batch_s"] / batch["batch_s"]
             tier_pred = {}
             for tier in ("float64", "float32"):
                 engine = estimator.compile(dtype=tier)
@@ -828,9 +930,16 @@ def run_experiment(config: ExperimentConfig, progress=None) -> ExperimentResult:
                 "sequential_normalized_mae": by_backend_nmae["sequential"],
             }
             if report is not None:
+                # A sub-1x speedup on a container with fewer cores than
+                # requested workers is expected, not a regression; record
+                # the cpu budget so reporting can annotate it instead of
+                # printing a bare misleading number.
+                cpu_count = os.cpu_count() or 1
                 build["parallel"] = {
                     "build_workers": report["requested_workers"],
                     "effective_workers": report["workers"],
+                    "cpu_count": cpu_count,
+                    "container_limited": cpu_count < int(report["requested_workers"]),
                     "shards": report["n_shards"],
                     "mode": report["mode"],
                     "boundary_merged_leaves": report["boundary_merged_leaves"],

@@ -326,7 +326,13 @@ class StackedTrainResult:
     y_scaler: StackedStandardScaler | None
     histories: list[list[float]] = field(default_factory=list)
 
-    def compile(self, tree, leaf_ids: list[int] | None = None, dtype: str = "float64"):
+    def compile(
+        self,
+        tree,
+        leaf_ids: list[int] | None = None,
+        dtype: str = "float64",
+        pad_widths: bool = True,
+    ):
         """Hand the trained stack straight to the compiled inference engine.
 
         Returns a :class:`~repro.core.compiled.CompiledSketch` on the
@@ -334,7 +340,10 @@ class StackedTrainResult:
         statistics go in as-is (no unstack/restack round-trip) and the
         engine fuses the scalers into its execution plan at construction.
         ``leaf_ids[k]`` names the tree leaf held by stack slot ``k``
-        (default: slot order is leaf-id order).
+        (default: slot order is leaf-id order). ``pad_widths`` flows
+        through to the engine's SIMD-padding knob: the fused plan tensors
+        are padded to lane multiples at hand-off while the stack's
+        canonical weights stay unpadded.
         """
         from repro.core.compiled import CompiledSketch
 
@@ -345,6 +354,7 @@ class StackedTrainResult:
             y_scaler=self.y_scaler,
             leaf_ids=leaf_ids,
             dtype=dtype,
+            pad_widths=pad_widths,
         )
 
 

@@ -11,7 +11,9 @@ the versioned JSON-lines protocol (:mod:`repro.serve.protocol`), with
 :class:`Client` as the matching blocking client. When one process's GIL
 becomes the ceiling, :class:`SketchRouter` shards the same wire protocol
 across worker processes (:mod:`repro.serve.router` /
-:mod:`repro.serve.worker`). ``repro serve`` / ``repro query`` are the
+:mod:`repro.serve.worker`), publishing the weight tensors once into
+shared memory so the shards map one resident copy
+(:mod:`repro.serve.shm`). ``repro serve`` / ``repro query`` are the
 CLI front-ends.
 """
 
@@ -26,6 +28,7 @@ from repro.serve.router import (
 )
 from repro.serve.server import ServerHandle, SketchServer, start_server_thread
 from repro.serve.service import ImmutableSketchError, SketchService, load_sketch
+from repro.serve.shm import ShmPublisher, attach_sketch, publish_sketch
 
 __all__ = [
     "AnswerCache",
@@ -35,11 +38,14 @@ __all__ = [
     "RouterHandle",
     "ServerError",
     "ServerHandle",
+    "ShmPublisher",
     "SketchRouter",
     "SketchServer",
     "SketchService",
+    "attach_sketch",
     "load_sketch",
     "prepare_worker_artifact",
+    "publish_sketch",
     "start_router_thread",
     "start_server_thread",
 ]

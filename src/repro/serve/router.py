@@ -41,6 +41,12 @@ Workers are spawned via ``sys.executable -m repro.serve.worker`` with an
 artifact path; :func:`prepare_worker_artifact` spills a loaded sketch to
 the binary ``.npz`` form first so each worker boots in milliseconds
 instead of re-parsing gzip JSON (POSIX pipes; the router is Unix-only).
+For plain compiled engines the router goes one better: it publishes the
+weight tensors once into POSIX shared memory (:mod:`repro.serve.shm`)
+and boots workers against the ``shm://`` block, so N worker processes
+map one resident copy of the model instead of holding N private ones
+(``share_weights=False`` or any shm failure falls back to the ``.npz``
+copy-on-boot path).
 
 :func:`start_router_thread` mirrors
 :func:`~repro.serve.server.start_server_thread` for embedding: the CLI
@@ -132,6 +138,7 @@ class _Worker:
         "proc",
         "stdin",
         "stdout",
+        "read_transport",
         "alive",
         "pending",
         "n_restarts",
@@ -144,6 +151,7 @@ class _Worker:
         self.proc: subprocess.Popen | None = None
         self.stdin: asyncio.StreamWriter | None = None
         self.stdout: asyncio.StreamReader | None = None
+        self.read_transport: asyncio.ReadTransport | None = None
         self.alive = False
         #: rid -> (conn, seq, frame), or a shared ``_Broadcast`` for
         #: fanned-out ingest frames, for every frame awaiting this worker.
@@ -170,6 +178,13 @@ class SketchRouter:
         As on :class:`~repro.serve.server.SketchServer`.
     restart_delay_s:
         Pause before respawning a crashed worker.
+    share_weights:
+        Publish the artifact's weight tensors once into POSIX shared
+        memory and boot workers against the ``shm://`` block
+        (:mod:`repro.serve.shm`) so N processes share ~1x resident
+        weights. Best-effort: mutable stream bundles, foreign estimators
+        and shm-less platforms silently keep the per-worker ``.npz``
+        copy-on-boot path.
     """
 
     def __init__(
@@ -183,6 +198,7 @@ class SketchRouter:
         restart_delay_s: float = 0.5,
         worker_boot_timeout_s: float = 60.0,
         drain_timeout_s: float = 30.0,
+        share_weights: bool = True,
     ) -> None:
         if processes < 1:
             raise ValueError("processes must be >= 1")
@@ -197,6 +213,11 @@ class SketchRouter:
         self.restart_delay_s = float(restart_delay_s)
         self.worker_boot_timeout_s = float(worker_boot_timeout_s)
         self.drain_timeout_s = float(drain_timeout_s)
+        self.share_weights = bool(share_weights)
+        #: Set by :meth:`start` when the weights were published to shared
+        #: memory; workers then boot from ``self._publisher.uri``.
+        self._publisher = None
+        self._worker_sketch = self.sketch_path
         self.address: tuple[str, int] | None = None
         self._server: asyncio.AbstractServer | None = None
         self._workers = [_Worker(slot) for slot in range(self.processes)]
@@ -228,20 +249,43 @@ class SketchRouter:
             "-m",
             "repro.serve.worker",
             "--sketch",
-            self.sketch_path,
+            self._worker_sketch,
             "--max-line-bytes",
             str(self.max_line_bytes),
             *self.worker_args,
         ]
 
+    def _worker_dtype(self) -> str | None:
+        """The ``--infer-dtype`` tier workers will serve, if pinned."""
+        args = self.worker_args
+        for i, flag in enumerate(args[:-1]):
+            if flag == "--infer-dtype":
+                return args[i + 1]
+        return None
+
+    def _publish_weights(self) -> None:
+        """Best-effort shm publish; fall back to the per-worker copy path."""
+        if not self.share_weights:
+            return
+        try:
+            from repro.serve import shm
+        except ImportError:  # pragma: no cover
+            return
+        publisher = shm.publish_artifact(self.sketch_path, dtype=self._worker_dtype())
+        if publisher is not None:
+            self._publisher = publisher
+            self._worker_sketch = publisher.uri
+
     async def start(self) -> None:
         """Boot every worker, then bind and accept (call once, on the loop)."""
         if self._server is not None:
             raise RuntimeError("router already started")
+        self._publish_weights()
         try:
             await asyncio.gather(*(self._spawn(w) for w in self._workers))
         except BaseException:
             await self._shutdown_workers()
+            self._close_publisher()
             raise
         self._server = await asyncio.start_server(
             self._handle_conn,
@@ -289,6 +333,7 @@ class SketchRouter:
         w.proc = proc
         w.stdin = writer
         w.stdout = reader
+        w.read_transport = read_transport
         w.alive = True
         w.reader_task = asyncio.ensure_future(self._read_worker(w))
         # Catch the (re)booted worker up on every mutation it missed: it
@@ -316,6 +361,7 @@ class SketchRouter:
         for task in list(self._restart_tasks):
             task.cancel()
         await self._shutdown_workers()
+        self._close_publisher()
         self._fail_pending(
             "router is shutting down", include_orphans=True, workers=self._workers
         )
@@ -352,10 +398,40 @@ class SketchRouter:
                 except (asyncio.CancelledError, Exception):
                     pass
                 w.reader_task = None
+            self._close_read_pipe(w)
+
+    def _close_read_pipe(self, w: _Worker) -> None:
+        """Close a worker's stdout transport (GC would only warn about it)."""
+        if w.read_transport is not None:
+            try:
+                w.read_transport.close()
+            except (OSError, RuntimeError):  # loop already closing
+                pass
+            w.read_transport = None
+        w.stdout = None
+
+    def _close_publisher(self) -> None:
+        if self._publisher is not None:
+            try:
+                self._publisher.close()
+            except Exception:  # pragma: no cover - cleanup best-effort
+                pass
+            self._publisher = None
+            self._worker_sketch = self.sketch_path
 
     def router_stats(self) -> dict:
+        publisher = self._publisher
         return {
             "processes": self.processes,
+            "shared_weights": (
+                None
+                if publisher is None
+                else {
+                    "uri": publisher.uri,
+                    "epoch": publisher.epoch,
+                    "block_bytes": publisher.data_bytes,
+                }
+            ),
             "connections": self.n_connections,
             "open_connections": len(self._conns),
             "requests": self.n_requests,
@@ -587,6 +663,7 @@ class SketchRouter:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
             w.stdin = None
+        self._close_read_pipe(w)
         pending, w.pending = w.pending, {}
         if self._stopped:
             for rid, entry in pending.items():
@@ -743,6 +820,7 @@ def start_router_thread(
     worker_args: tuple[str, ...] = (),
     restart_delay_s: float = 0.5,
     worker_boot_timeout_s: float = 60.0,
+    share_weights: bool = True,
 ) -> RouterHandle:
     """Start a :class:`SketchRouter` on a daemon event-loop thread.
 
@@ -758,6 +836,7 @@ def start_router_thread(
         worker_args=worker_args,
         restart_delay_s=restart_delay_s,
         worker_boot_timeout_s=worker_boot_timeout_s,
+        share_weights=share_weights,
     )
     loop = asyncio.new_event_loop()
     started = threading.Event()

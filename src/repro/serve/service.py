@@ -45,7 +45,9 @@ def load_sketch(path: str, dtype: str | None = None):
     payload is loaded and compiled; a ``.npz`` path loads the binary spill
     (:meth:`~repro.core.compiled.CompiledSketch.load_npz`) or, when it is
     a stream bundle, the mutable
-    :class:`~repro.stream.sketch.StreamingSketch`.
+    :class:`~repro.stream.sketch.StreamingSketch`; a ``shm://`` URI
+    attaches a published shared-memory weight block read-only
+    (:func:`repro.serve.shm.attach_sketch`).
 
     ``dtype`` picks the compiled engine's execution tier. ``None`` keeps
     the artifact's own recorded tier (``float64`` for payloads predating
@@ -56,6 +58,10 @@ def load_sketch(path: str, dtype: str | None = None):
     from repro.core.compiled import CompiledSketch
     from repro.core.neurosketch import NeuroSketch
 
+    if path.startswith("shm://"):
+        from repro.serve.shm import attach_sketch
+
+        return attach_sketch(path, dtype=dtype)
     if path.endswith(".npz"):
         from repro.stream.sketch import is_stream_bundle, load_stream_sketch
 

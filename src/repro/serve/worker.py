@@ -113,12 +113,19 @@ def answer_frame(service, raw_line, max_line_bytes: int, timeout_s: float):
 def load_worker_sketch(path: str, dtype: str | None = None):
     """Load a sketch artifact for serving, preferring the fast binary path.
 
-    ``.npz`` spills load through
-    :meth:`~repro.core.compiled.CompiledSketch.load_npz` (milliseconds, no
-    JSON number parsing); stream bundles rebuild the full mutable
-    :class:`~repro.stream.sketch.StreamingSketch`; anything else goes
-    through the regular :func:`~repro.serve.service.load_sketch`.
+    ``shm://`` URIs attach the router's published shared-memory weight
+    block (:func:`repro.serve.shm.attach_sketch`) — zero copy, so N
+    workers share one resident set of tensors; ``.npz`` spills load
+    through :meth:`~repro.core.compiled.CompiledSketch.load_npz`
+    (milliseconds, no JSON number parsing); stream bundles rebuild the
+    full mutable :class:`~repro.stream.sketch.StreamingSketch`; anything
+    else goes through the regular
+    :func:`~repro.serve.service.load_sketch`.
     """
+    if path.startswith("shm://"):
+        from repro.serve.shm import attach_sketch
+
+        return attach_sketch(path, dtype=dtype)
     if path.endswith(".npz"):
         from repro.stream.sketch import is_stream_bundle, load_stream_sketch
 

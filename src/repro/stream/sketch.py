@@ -194,6 +194,11 @@ class StreamingSketch:
         if any(idx.size == 0 for idx in self._q_by_leaf):
             raise ValueError("every leaf needs at least one training query")
         self._boxes: tuple[np.ndarray, np.ndarray] | None = None
+        #: Optional :class:`repro.serve.shm.ShmPublisher`: when set (see
+        #: :meth:`set_weight_publisher`), every retrain republishes the
+        #: serving-tier engine as a fresh shm epoch block. ``copy.copy``
+        #: views share it, matching the shared ``_mut`` epoch state.
+        self.weight_publisher = None
 
     # ------------------------------------------------------------------ build
 
@@ -345,6 +350,15 @@ class StreamingSketch:
         view.serving_dtype = dtype
         view.engine(dtype)
         return view
+
+    def set_weight_publisher(self, publisher) -> None:
+        """Republish the serving engine to ``publisher`` on every retrain.
+
+        ``publisher`` is a :class:`repro.serve.shm.ShmPublisher` (or
+        ``None`` to detach). The caller owns the publisher's lifetime;
+        this sketch only calls ``republish`` after each hot-swap.
+        """
+        self.weight_publisher = publisher
 
     def replica_stats(self) -> dict:
         return self.engine().replica_stats()
@@ -609,6 +623,16 @@ class StreamingSketch:
             engines = list(self._engines.items())
         for tier, eng in engines:
             eng.swap_from(_fresh_engine(new_canonical, tier))
+        # Shared-memory serving: the swap above changed in-process engines
+        # only; publish the new epoch's weights as a fresh shm block so
+        # attachers (worker respawns, refreshes) map the new epoch while
+        # already-mapped workers keep serving their pinned one.
+        publisher = self.weight_publisher
+        if publisher is not None:
+            try:
+                publisher.republish(self.engine(self.serving_dtype))
+            except Exception:  # pragma: no cover - publish is best-effort
+                pass
 
     # ------------------------------------------------------------------ stats
 
